@@ -1,0 +1,64 @@
+// Command charlut characterizes the stage-delay lookup tables
+// (LUTuniform/LUTdetail, paper §4.1) for the synthetic 28nm technology and
+// dumps the Figure-2 delay-ratio study: scatter points and fitted W-window
+// envelopes per corner pair.
+//
+// Usage:
+//
+//	charlut            # summary tables to stdout
+//	charlut -csv fig2  # also writes fig2_c1c0.csv / fig2_c2c0.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skewvar/internal/exp"
+	"skewvar/internal/lut"
+	"skewvar/internal/report"
+)
+
+func main() {
+	csvPrefix := flag.String("csv", "", "write per-pair scatter CSVs with this prefix")
+	flag.Parse()
+
+	t, ch := exp.Technology()
+	// LUT summary.
+	tb := &report.Table{
+		Title:   "LUTuniform stage delays (ps) at 100µm spacing",
+		Headers: []string{"Cell"},
+	}
+	for _, c := range t.Corners {
+		tb.Headers = append(tb.Headers, c.Name)
+	}
+	qi := int((100 - lut.SpacingMin) / lut.SpacingStep)
+	for p := 0; p < ch.NumCells(); p++ {
+		row := []string{t.Cells[p].Name}
+		for k := range t.Corners {
+			row = append(row, fmt.Sprintf("%.1f", ch.Uniform(p, qi, k)))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Println(tb.Render())
+
+	res, ftb, err := exp.Figure2()
+	if err != nil {
+		fatalf("figure 2: %v", err)
+	}
+	fmt.Println(ftb.Render())
+	if *csvPrefix != "" {
+		for _, r := range res {
+			name := fmt.Sprintf("%s_c%dc%d.csv", *csvPrefix, r.KNum, r.KDen)
+			if err := os.WriteFile(name, []byte(r.CSV), 0o644); err != nil {
+				fatalf("writing %s: %v", name, err)
+			}
+			fmt.Printf("wrote %s (%d scatter points)\n", name, r.Samples)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "charlut: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command exptab regenerates the paper's evaluation artifacts — every table
+// and figure of §5 — at the configured scale, writing text tables and CSV
+// series into an output directory. EXPERIMENTS.md is produced from this
+// command's output.
+//
+// Usage:
+//
+//	exptab -exp all -out artifacts/
+//	exptab -exp table5 -ffs 420 -pairs 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"skewvar/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: corners, testcases, balancing, fig2, fig5, fig6, table5, fig8, fig9 or all")
+	outDir := flag.String("out", "", "artifact directory (default: stdout only)")
+	ffs := flag.Int("ffs", 0, "flip-flops per testcase (0 = default 420)")
+	pairsN := flag.Int("pairs", 0, "top critical pairs (0 = default 300)")
+	kind := flag.String("kind", "", "model kind (default hsm)")
+	cases := flag.Int("cases", 0, "training testcases (0 = default 40)")
+	iters := flag.Int("iters", 0, "local iterations (0 = default 12)")
+	seed := flag.Int64("seed", 0, "seed (0 = default 1)")
+	flag.Parse()
+
+	cfg := exp.Config{
+		NumFFs: *ffs, TopPairs: *pairsN, ModelKind: *kind,
+		TrainCases: *cases, LocalIters: *iters, Seed: *seed,
+	}
+	runner := &runner{outDir: *outDir}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *outDir, err)
+		}
+	}
+
+	sel := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		sel[strings.TrimSpace(w)] = true
+	}
+	all := sel["all"]
+
+	var t5 *exp.Table5Result
+	if all || sel["corners"] {
+		runner.emit("table3_corners", exp.Table3().Render())
+	}
+	if all || sel["testcases"] {
+		envs, err := exp.BuildTestcases(cfg)
+		if err != nil {
+			fatalf("testcases: %v", err)
+		}
+		runner.emit("table4_testcases", exp.Table4(envs).Render())
+	}
+	if all || sel["balancing"] {
+		tb, err := exp.BalancingStudy(cfg)
+		if err != nil {
+			fatalf("balancing: %v", err)
+		}
+		runner.emit("table_balancing_mcmm_mcsm", tb.Render())
+	}
+	if all || sel["fig2"] {
+		res, tb, err := exp.Figure2()
+		if err != nil {
+			fatalf("fig2: %v", err)
+		}
+		runner.emit("fig2_ratio_envelopes", tb.Render())
+		for _, r := range res {
+			runner.emitFile(fmt.Sprintf("fig2_c%dc%d.csv", r.KNum, r.KDen), r.CSV)
+		}
+	}
+	if all || sel["fig5"] {
+		res, tb, err := exp.Figure5(cfg)
+		if err != nil {
+			fatalf("fig5: %v", err)
+		}
+		var b strings.Builder
+		b.WriteString(tb.Render())
+		for _, r := range res {
+			fmt.Fprintf(&b, "\ncorner c%d %%-error histogram:\n%s", r.Corner, r.Histogram)
+			runner.emitFile(fmt.Sprintf("fig5_c%d.csv", r.Corner), r.CSV)
+		}
+		runner.emit("fig5_model_accuracy", b.String())
+	}
+	if all || sel["fig6"] {
+		_, tb, err := exp.Figure6(cfg)
+		if err != nil {
+			fatalf("fig6: %v", err)
+		}
+		runner.emit("fig6_best_move_identification", tb.Render())
+	}
+	if all || sel["table5"] || sel["fig9"] {
+		start := time.Now()
+		var tbRender string
+		var err error
+		t5, tbRender, err = runTable5(cfg)
+		if err != nil {
+			fatalf("table5: %v", err)
+		}
+		if all || sel["table5"] {
+			runner.emit("table5_results", tbRender+
+				fmt.Sprintf("\n(flows completed in %.1fs)\n", time.Since(start).Seconds()))
+		}
+	}
+	if all || sel["fig8"] {
+		res, tb, err := exp.Figure8(cfg)
+		if err != nil {
+			fatalf("fig8: %v", err)
+		}
+		runner.emit("fig8_local_trajectory", tb.Render())
+		runner.emitFile("fig8_trajectory.csv", res.CSV)
+	}
+	if all || sel["fig9"] {
+		res, tb, err := exp.Figure9(cfg, t5)
+		if err != nil {
+			fatalf("fig9: %v", err)
+		}
+		var b strings.Builder
+		b.WriteString(tb.Render())
+		for _, r := range res {
+			fmt.Fprintf(&b, "\n%s original:\n%s\n%s optimized:\n%s",
+				r.CornerName, r.OrigHist, r.CornerName, r.OptHist)
+		}
+		runner.emit("fig9_skew_ratio_distributions", b.String())
+	}
+}
+
+func runTable5(cfg exp.Config) (*exp.Table5Result, string, error) {
+	res, tb, err := exp.Table5(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, tb.Render(), nil
+}
+
+type runner struct{ outDir string }
+
+func (r *runner) emit(name, content string) {
+	fmt.Printf("==== %s ====\n%s\n", name, content)
+	r.emitFile(name+".txt", content)
+}
+
+func (r *runner) emitFile(name, content string) {
+	if r.outDir == "" {
+		return
+	}
+	if err := os.WriteFile(filepath.Join(r.outDir, name), []byte(content), 0o644); err != nil {
+		fatalf("writing %s: %v", name, err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "exptab: "+format+"\n", args...)
+	os.Exit(1)
+}

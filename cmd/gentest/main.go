@@ -1,0 +1,89 @@
+// Command gentest generates the benchmark designs of the paper's evaluation
+// (classes CLS1 and CLS2, §5.1) and writes them as JSON, optionally with
+// DEF- and SPEF-flavoured exports.
+//
+// Usage:
+//
+//	gentest -case CLS1v1 -ffs 420 -o cls1v1.json [-def cls1v1.def] [-spef cls1v1.spef]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skewvar/internal/edaio"
+	"skewvar/internal/tech"
+	"skewvar/internal/testgen"
+)
+
+func main() {
+	caseName := flag.String("case", "CLS1v1", "testcase: CLS1v1, CLS1v2 or CLS2v1")
+	ffs := flag.Int("ffs", 0, "flip-flop count (0 = variant default)")
+	out := flag.String("o", "", "output design JSON (default stdout)")
+	defOut := flag.String("def", "", "also write a DEF-flavoured export")
+	spefOut := flag.String("spef", "", "also write a SPEF-flavoured export (nominal corner)")
+	reportT := flag.Bool("report", false, "print a timing report to stderr")
+	flag.Parse()
+
+	base := tech.Default28nm()
+	var v testgen.Variant
+	switch *caseName {
+	case "CLS1v1":
+		v = testgen.CLS1v1(*ffs)
+	case "CLS1v2":
+		v = testgen.CLS1v2(*ffs)
+	case "CLS2v1":
+		v = testgen.CLS2v1(*ffs)
+	default:
+		fatalf("unknown testcase %q", *caseName)
+	}
+	d, tm, err := testgen.Build(base, v)
+	if err != nil {
+		fatalf("building %s: %v", v.Name, err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := edaio.WriteDesign(w, d); err != nil {
+		fatalf("writing design: %v", err)
+	}
+	if *defOut != "" {
+		if err := writeTo(*defOut, func(f *os.File) error { return edaio.WriteDEF(f, d) }); err != nil {
+			fatalf("writing DEF: %v", err)
+		}
+	}
+	if *spefOut != "" {
+		if err := writeTo(*spefOut, func(f *os.File) error {
+			return edaio.WriteSPEF(f, d, tm.Tech, tm.Tech.Nominal)
+		}); err != nil {
+			fatalf("writing SPEF: %v", err)
+		}
+	}
+	if *reportT {
+		if err := edaio.TimingReport(os.Stderr, d, tm); err != nil {
+			fatalf("timing report: %v", err)
+		}
+	}
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gentest: "+format+"\n", args...)
+	os.Exit(1)
+}

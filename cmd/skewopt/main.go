@@ -1,0 +1,186 @@
+// Command skewopt runs the paper's optimization flows on a design: the
+// LP-guided global optimization, the model-guided local iterative
+// optimization, or both in sequence (the full framework).
+//
+// Usage:
+//
+//	skewopt -design cls1v1.json -flow global-local -model models.json -o optimized.json
+//	skewopt -case CLS1v1 -ffs 420 -flow all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skewvar/internal/core"
+	"skewvar/internal/ctree"
+	"skewvar/internal/edaio"
+	"skewvar/internal/exp"
+	"skewvar/internal/report"
+	"skewvar/internal/sta"
+	"skewvar/internal/testgen"
+)
+
+func main() {
+	designPath := flag.String("design", "", "input design JSON (from gentest)")
+	caseName := flag.String("case", "", "generate a built-in testcase instead: CLS1v1, CLS1v2, CLS2v1")
+	ffs := flag.Int("ffs", 0, "flip-flop count for -case (0 = default)")
+	flow := flag.String("flow", "global-local", "flow: global, local, global-local or all")
+	modelPath := flag.String("model", "", "trained model bundle (from trainml); trains a quick model if empty")
+	pairs := flag.Int("pairs", 300, "top critical pairs in the objective")
+	iters := flag.Int("iters", 12, "local-optimization iteration cap")
+	out := flag.String("o", "", "write the optimized design JSON here")
+	flag.Parse()
+
+	d, tm := loadDesign(*designPath, *caseName, *ffs)
+	_, ch := exp.Technology()
+	model := loadModel(*modelPath)
+
+	pairSet := d.TopPairs(*pairs)
+	a0 := tm.Analyze(d.Tree)
+	alphas := sta.Alphas(a0, pairSet)
+	fmt.Printf("design %s: %d sinks, %d pairs (top %d used), alphas %.3v\n",
+		d.Name, len(d.Tree.Sinks()), len(d.Pairs), len(pairSet), alphas)
+
+	tb := &report.Table{
+		Title:   "skew variation results",
+		Headers: []string{"Flow", "Variation(ps)", "[norm]", "Skew@c0", "Skew@c1", "Skew@c2/3", "#Cells", "Power(mW)"},
+	}
+	orig := core.Snapshot(tm, d.Tree, pairSet, alphas)
+	orig.Norm = 1
+	addRow(tb, "orig", orig)
+
+	var final *ctree.Tree
+	switch *flow {
+	case "all":
+		res, err := core.RunFlows(tm, ch, d, model, core.FlowConfig{
+			TopPairs: *pairs,
+			Global:   core.GlobalConfig{MaxPairsPerLP: *pairs},
+			Local:    core.LocalConfig{MaxIters: *iters},
+		})
+		if err != nil {
+			fatalf("flows: %v", err)
+		}
+		addRow(tb, "global", res.Global)
+		addRow(tb, "local", res.Local)
+		addRow(tb, "global-local", res.GLocal)
+		final = res.Trees["global-local"]
+	case "global", "local", "global-local":
+		tree := d.Tree
+		if *flow == "global" || *flow == "global-local" {
+			g, err := core.GlobalOpt(tm, ch, d, alphas, core.GlobalConfig{TopPairs: *pairs, MaxPairsPerLP: *pairs})
+			if err != nil {
+				fatalf("global: %v", err)
+			}
+			tree = g.Tree
+		}
+		if *flow == "local" || *flow == "global-local" {
+			dl := d.Clone()
+			dl.Tree = tree.Clone()
+			l, err := core.LocalOpt(tm, dl, alphas, core.LocalConfig{
+				Model: model, TopPairs: *pairs, MaxIters: *iters,
+			})
+			if err != nil {
+				fatalf("local: %v", err)
+			}
+			tree = l.Tree
+		}
+		m := core.Snapshot(tm, tree, pairSet, alphas)
+		m.Norm = m.SumVarPS / orig.SumVarPS
+		addRow(tb, *flow, m)
+		final = tree
+	default:
+		fatalf("unknown flow %q", *flow)
+	}
+	fmt.Println(tb.Render())
+
+	if *out != "" && final != nil {
+		od := d.Clone()
+		od.Tree = final
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		if err := edaio.WriteDesign(f, od); err != nil {
+			fatalf("writing optimized design: %v", err)
+		}
+	}
+}
+
+func addRow(tb *report.Table, flow string, m core.Metrics) {
+	skew23 := "-"
+	if len(m.SkewPS) > 2 {
+		skew23 = fmt.Sprintf("%.0f", m.SkewPS[2])
+	}
+	tb.AddRowf(flow,
+		fmt.Sprintf("%.0f", m.SumVarPS), fmt.Sprintf("[%.2f]", m.Norm),
+		fmt.Sprintf("%.0f", m.SkewPS[0]), fmt.Sprintf("%.0f", m.SkewPS[1]),
+		skew23, m.NumCells, fmt.Sprintf("%.3f", m.PowerMW))
+}
+
+func loadDesign(path, caseName string, ffs int) (*ctree.Design, *sta.Timer) {
+	base, _ := exp.Technology()
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("opening %s: %v", path, err)
+		}
+		defer f.Close()
+		d, err := edaio.ReadDesign(f)
+		if err != nil {
+			fatalf("reading design: %v", err)
+		}
+		view, err := base.SubCorners(d.CornerNames...)
+		if err != nil {
+			fatalf("corner view: %v", err)
+		}
+		return d, sta.New(view)
+	}
+	var v testgen.Variant
+	switch caseName {
+	case "CLS1v1":
+		v = testgen.CLS1v1(ffs)
+	case "CLS1v2":
+		v = testgen.CLS1v2(ffs)
+	case "CLS2v1":
+		v = testgen.CLS2v1(ffs)
+	default:
+		fatalf("need -design or a valid -case (got %q)", caseName)
+	}
+	d, tm, err := testgen.Build(base, v)
+	if err != nil {
+		fatalf("building %s: %v", v.Name, err)
+	}
+	return d, tm
+}
+
+func loadModel(path string) *core.MLStageModel {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "skewopt: no -model given; training a quick ridge predictor")
+		t, _ := exp.Technology()
+		m, err := core.TrainStageModel(t, core.TrainConfig{
+			Kind: "ridge", Cases: 12, MovesPerCase: 12, Seed: 1,
+		})
+		if err != nil {
+			fatalf("quick training: %v", err)
+		}
+		return m
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	m, err := core.LoadStageModel(f)
+	if err != nil {
+		fatalf("loading model: %v", err)
+	}
+	return m
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "skewopt: "+format+"\n", args...)
+	os.Exit(1)
+}

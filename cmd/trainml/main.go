@@ -1,0 +1,63 @@
+// Command trainml trains the per-corner delta-latency predictors on
+// artificial testcases (paper §4.2: one-time effort per technology) and
+// saves them as a JSON model bundle for cmd/skewopt. It also prints the
+// Figure-5-style held-out accuracy table.
+//
+// Usage:
+//
+//	trainml -kind hsm -cases 40 -moves 25 -o models.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skewvar/internal/core"
+	"skewvar/internal/exp"
+)
+
+func main() {
+	kind := flag.String("kind", "hsm", "model kind: hsm, ann, svr or ridge")
+	cases := flag.Int("cases", 40, "artificial training testcases")
+	moves := flag.Int("moves", 25, "sampled moves per case")
+	seed := flag.Int64("seed", 1, "training seed")
+	out := flag.String("o", "", "output model bundle (default stdout)")
+	evaluate := flag.Bool("eval", true, "print held-out accuracy (Figure 5)")
+	flag.Parse()
+
+	t, _ := exp.Technology()
+	model, err := core.TrainStageModel(t, core.TrainConfig{
+		Kind: *kind, Cases: *cases, MovesPerCase: *moves, Seed: *seed,
+	})
+	if err != nil {
+		fatalf("training: %v", err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := core.SaveStageModel(w, model); err != nil {
+		fatalf("saving models: %v", err)
+	}
+	if *evaluate {
+		_, tb, err := exp.Figure5(exp.Config{
+			ModelKind: *kind, TrainCases: *cases, TrainMoves: *moves, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("evaluating: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, tb.Render())
+		fmt.Fprintf(os.Stderr, "correction shrink factors per corner: %v\n", model.Shrink)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "trainml: "+format+"\n", args...)
+	os.Exit(1)
+}

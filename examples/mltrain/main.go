@@ -1,0 +1,60 @@
+// mltrain: train and compare the three delta-latency model classes of the
+// paper (§4.2) — ANN, SVR with an RBF kernel, and Hybrid Surrogate Modeling
+// — on artificial testcases, against the four analytic estimators. Prints a
+// Figure-5/6 style accuracy comparison.
+//
+//	go run ./examples/mltrain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skewvar/internal/core"
+	"skewvar/internal/exp"
+	"skewvar/internal/fit"
+	"skewvar/internal/report"
+)
+
+func main() {
+	base, _ := exp.Technology()
+	const trainCases, trainMoves, seed = 24, 16, 5
+
+	fmt.Printf("building training data: %d artificial testcases × %d moves…\n",
+		trainCases, trainMoves)
+	train := core.BuildDataset(base, trainCases, trainMoves, seed)
+	hold := core.BuildDataset(base, 8, 10, seed+1000)
+	fmt.Printf("samples per corner: train %d, held-out %d\n\n", train.Len(), hold.Len())
+
+	tb := &report.Table{
+		Title:   "held-out latency RMSE (ps) per corner",
+		Headers: []string{"Model", "c0", "c1", "c2", "c3"},
+	}
+	evaluate := func(name string, m core.StageModel) {
+		row := []string{name}
+		for _, acc := range core.EvaluateStageModel(m, hold) {
+			row = append(row, fmt.Sprintf("%.2f", fit.RMSE(acc.Predicted, acc.Actual)))
+		}
+		tb.AddRow(row...)
+	}
+	for _, kind := range []string{"ann", "svr", "ridge", "hsm"} {
+		fmt.Printf("training %s…\n", kind)
+		m, err := core.TrainOnDataset(base, train, core.TrainConfig{Kind: kind, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(kind, m)
+	}
+	for _, m := range core.AnalyticBaselines() {
+		evaluate(m.Name()+" (abs)", m)
+	}
+	for _, m := range core.DeltaBaselines() {
+		evaluate(m.Name(), m)
+	}
+	fmt.Println()
+	fmt.Println(tb.Render())
+	fmt.Println("(abs) baselines predict the post-move latency against the golden")
+	fmt.Println("pre-move database — the paper's analytical comparison. The (Δ)")
+	fmt.Println("baselines difference two pipeline estimates, which cancels bias;")
+	fmt.Println("see EXPERIMENTS.md for the discussion.")
+}

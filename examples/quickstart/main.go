@@ -1,0 +1,70 @@
+// Quickstart: build a small application-processor-class clock tree, train a
+// quick delta-latency predictor, run the global-local skew-variation
+// optimization, and print the before/after summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skewvar/internal/core"
+	"skewvar/internal/exp"
+	"skewvar/internal/sta"
+	"skewvar/internal/testgen"
+)
+
+func main() {
+	// 1. Technology: a synthetic 28nm-LP-flavoured library with the paper's
+	//    four signoff corners, characterized once.
+	base, char := exp.Technology()
+	fmt.Println("corners:")
+	for _, c := range base.Corners {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// 2. Testcase: a scaled CLS1 (application-processor) design — four ILMs,
+	//    clustered register banks, baseline CTS from the built-in
+	//    synthesizer, sequentially adjacent sink pairs with criticalities.
+	design, timer, err := testgen.Build(base, testgen.CLS1v1(180))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := design.TopPairs(150)
+	a := timer.Analyze(design.Tree)
+	alphas := sta.Alphas(a, pairs)
+	fmt.Printf("\n%s: %d sinks, %d pairs, alphas %.3v\n",
+		design.Name, len(design.Tree.Sinks()), len(pairs), alphas)
+	fmt.Printf("original sum of normalized skew variation: %.0f ps\n",
+		sta.SumVariation(a, alphas, pairs))
+
+	// 3. Predictor: delta-latency models trained on artificial testcases
+	//    (kept tiny here; use cmd/trainml for a production model).
+	model, err := core.TrainStageModel(base, core.TrainConfig{
+		Kind: "ridge", Cases: 10, MovesPerCase: 10, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The framework: LP-guided global optimization followed by the
+	//    model-guided local iterative optimization (Algorithms 1 and 2).
+	res, err := core.RunFlows(timer, char, design, model, core.FlowConfig{
+		TopPairs: 150,
+		Local:    core.LocalConfig{MaxIters: 6, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nflow results (normalized to original):\n")
+	fmt.Printf("  global        %.0f ps [%.2f]\n", res.Global.SumVarPS, res.Global.Norm)
+	fmt.Printf("  local         %.0f ps [%.2f]\n", res.Local.SumVarPS, res.Local.Norm)
+	fmt.Printf("  global-local  %.0f ps [%.2f]\n", res.GLocal.SumVarPS, res.GLocal.Norm)
+	fmt.Printf("\nlocal skew per corner (orig → global-local):\n")
+	for k, name := range design.CornerNames {
+		fmt.Printf("  %s: %.0f → %.0f ps\n", name, res.Orig.SkewPS[k], res.GLocal.SkewPS[k])
+	}
+	fmt.Printf("\nclock cells %d → %d, power %.3f → %.3f mW\n",
+		res.Orig.NumCells, res.GLocal.NumCells, res.Orig.PowerMW, res.GLocal.PowerMW)
+}

@@ -1,0 +1,3 @@
+module skewvar
+
+go 1.22

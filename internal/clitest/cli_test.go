@@ -1,0 +1,97 @@
+// Package clitest smoke-tests the command-line tools end to end by building
+// and running them the way a user would. Skipped in -short mode (each run
+// compiles the binary).
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root (two levels above this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func run(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestGentestAndSkewoptPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	design := filepath.Join(tmp, "d.json")
+	defp := filepath.Join(tmp, "d.def")
+	spef := filepath.Join(tmp, "d.spef")
+
+	run(t, root, "run", "./cmd/gentest", "-case", "CLS1v1", "-ffs", "120",
+		"-o", design, "-def", defp, "-spef", spef)
+	for _, f := range []string{design, defp, spef} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty", f)
+		}
+	}
+	model := filepath.Join(tmp, "m.json")
+	run(t, root, "run", "./cmd/trainml", "-kind", "ridge", "-cases", "6",
+		"-moves", "6", "-eval=false", "-o", model)
+	if st, err := os.Stat(model); err != nil || st.Size() == 0 {
+		t.Fatal("model bundle missing")
+	}
+	outDesign := filepath.Join(tmp, "opt.json")
+	out := run(t, root, "run", "./cmd/skewopt", "-design", design, "-model", model,
+		"-flow", "local", "-pairs", "100", "-iters", "2", "-o", outDesign)
+	if !strings.Contains(out, "local") || !strings.Contains(out, "orig") {
+		t.Fatalf("skewopt output missing rows:\n%s", out)
+	}
+	if st, err := os.Stat(outDesign); err != nil || st.Size() == 0 {
+		t.Fatal("optimized design missing")
+	}
+}
+
+func TestCharlutCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	root := repoRoot(t)
+	out := run(t, root, "run", "./cmd/charlut")
+	for _, w := range []string{"LUTuniform", "c1/c0", "c2/c0"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("charlut output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestExptabCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	out := run(t, root, "run", "./cmd/exptab", "-exp", "corners,fig2", "-out", tmp)
+	if !strings.Contains(out, "table3_corners") || !strings.Contains(out, "fig2_ratio_envelopes") {
+		t.Fatalf("exptab output missing sections:\n%s", out)
+	}
+	for _, f := range []string{"table3_corners.txt", "fig2_ratio_envelopes.txt", "fig2_c1c0.csv"} {
+		if st, err := os.Stat(filepath.Join(tmp, f)); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing", f)
+		}
+	}
+}

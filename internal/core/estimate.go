@@ -1,0 +1,219 @@
+// Package core implements the paper's contribution: the global-local
+// optimization framework for simultaneous multi-mode multi-corner clock
+// skew variation reduction.
+//
+//   - Global optimization (global.go): the LP of Eqs. (4)–(11) over arc delay
+//     changes, solved per criticality block with a U-sweep, realized by the
+//     Algorithm-1 LP-guided ECO.
+//   - Local optimization (local.go): the Algorithm-2 iterative flow over the
+//     Table-2 move set, guided by machine-learning delta-latency predictors
+//     and verified by the golden timer.
+//   - Predictors (estimate.go, dataset.go, predictor.go): the four analytic
+//     stage-delay estimators ({FLUTE-like RSMT, single-trunk} × {Elmore,
+//     D2M}), the delta-feature encoding, training-set generation on
+//     artificial testcases, and per-corner ANN/SVR/HSM residual models.
+package core
+
+import (
+	"math"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+	"skewvar/internal/rctree"
+	"skewvar/internal/route"
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+)
+
+// EstMode selects one analytic stage-delay estimator.
+type EstMode int
+
+// The four analytic estimators of §4.2.
+const (
+	RSMTElmore EstMode = iota
+	RSMTD2M
+	TrunkElmore
+	TrunkD2M
+	NumEstModes
+)
+
+// String implements fmt.Stringer.
+func (m EstMode) String() string {
+	switch m {
+	case RSMTElmore:
+		return "RSMT+Elmore"
+	case RSMTD2M:
+		return "RSMT+D2M"
+	case TrunkElmore:
+		return "Trunk+Elmore"
+	case TrunkD2M:
+		return "Trunk+D2M"
+	}
+	return "EstMode(?)"
+}
+
+// Feature layout of the delta-latency models. Indices 0–3 are the four
+// analytic estimates of the stage-delay *change* ({RSMT, single-trunk} ×
+// {Elmore, D2M}; EstMode indexes them); 4–7 are the corresponding absolute
+// post-move estimates; the rest is net context (§4.2's fanout count,
+// bounding-box area and aspect ratio), the driver input slew and drive
+// strength folded in by the Liberty slew-update step, and the pre-move
+// golden stage delay, which any incremental flow reads from its timing
+// database.
+const (
+	FeatPostBase  = 4
+	FeatFanout    = 8
+	FeatArea      = 9
+	FeatAR        = 10
+	FeatSlew      = 11
+	FeatDrive     = 12
+	FeatGoldenPre = 13
+	// NumFeatures is the model input width.
+	NumFeatures = 14
+)
+
+// numStageFeatures is the width of the per-net building block produced by
+// StageFeatures: 4 absolute estimates + fanout, bbox area, AR, slew, drive.
+const numStageFeatures = 9
+
+// StageFeatures computes the 7 model features for the stage "driving node d
+// → fanout pin" at corner k, using slewIn as the driver input slew (taken
+// from the latest golden analysis at prediction time).
+//
+// The estimators deliberately see less than the golden timer: they route
+// the net fresh with RSMT / single-trunk topologies over pin locations
+// (ignoring the CTS tap embedding) and know nothing about router congestion
+// — that estimation gap is what the trained models absorb.
+func StageFeatures(t *tech.Tech, tr *ctree.Tree, d, pin ctree.NodeID, slewIn float64, k int) []float64 {
+	dn := tr.Node(d)
+	cell := t.CellByName(dn.CellName)
+	pins := tr.FanoutPins(d)
+	locs := make([]geom.Point, 0, len(pins)+1)
+	locs = append(locs, dn.Loc)
+	pinIdx := -1
+	for i, p := range pins {
+		locs = append(locs, tr.Node(p).Loc)
+		if p == pin {
+			pinIdx = i + 1
+		}
+	}
+	feats := make([]float64, numStageFeatures)
+	if pinIdx < 0 || cell == nil {
+		return feats
+	}
+	for topo := 0; topo < 2; topo++ {
+		var rt *route.Tree
+		if topo == 0 {
+			rt = route.RSMT(locs)
+		} else {
+			rt = route.SingleTrunk(locs)
+		}
+		// Estimator knows intended snaking detours (they are in the design
+		// database) but not congestion.
+		for i, p := range pins {
+			rt.AddPinDetour(i+1, tr.Node(p).Detour)
+		}
+		rc, pinNode := routeToRC(t, tr, rt, pins, k)
+		gate, _ := sta.PairDelayTable(t, cell, k, slewIn, rc.TotalCap())
+		m1, m2 := rc.Moments()
+		ri := pinNode[pinIdx]
+		feats[2*topo] = gate + m1[ri]                       // Elmore
+		feats[2*topo+1] = gate + rctree.D2M(m1[ri], m2[ri]) // D2M
+	}
+	feats[4] = float64(len(pins))
+	bb := geom.BBox(locs)
+	feats[5] = bb.Area()
+	feats[6] = bb.AspectRatio()
+	feats[7] = slewIn
+	feats[8] = cell.InCap // proxy for drive strength
+	return feats
+}
+
+// routeToRC converts a routing tree into an RC tree at corner k, attaching
+// pin loads. It returns the RC and the rc-node index per route pin index.
+func routeToRC(t *tech.Tech, tr *ctree.Tree, rt *route.Tree, pins []ctree.NodeID, k int) (*rctree.RC, map[int]int) {
+	b := rctree.NewBuilder(0)
+	rcOf := map[int]int{0: 0}
+	pinNode := map[int]int{0: 0}
+	// BFS so parents are materialized first.
+	queue := rt.Children(0)
+	for len(queue) > 0 {
+		ri := queue[0]
+		queue = queue[1:]
+		rn := rt.Nodes[ri]
+		end := b.AddWire(rcOf[rn.Parent], rn.EdgeLen, t.WireR(k), t.WireC(k))
+		rcOf[ri] = end
+		if rn.Pin >= 1 {
+			pinNode[rn.Pin] = end
+			pn := tr.Node(pins[rn.Pin-1])
+			switch pn.Kind {
+			case ctree.KindBuffer:
+				if c := t.CellByName(pn.CellName); c != nil {
+					b.AddLoad(end, c.InCap)
+				}
+			case ctree.KindSink:
+				b.AddLoad(end, t.SinkCap)
+			}
+		}
+		queue = append(queue, rt.Children(ri)...)
+	}
+	return b.Done(), pinNode
+}
+
+// GoldenStageDelay returns the golden-timer stage delay (ps) from driving
+// node d's input to the given fanout pin at corner k, out of an analysis of
+// the same tree.
+func GoldenStageDelay(a *sta.Analysis, d, pin ctree.NodeID, k int) float64 {
+	top := a.Arrive[k][d]
+	if math.IsNaN(top) {
+		top = 0
+	}
+	return a.Arrive[k][pin] - top
+}
+
+// DeltaFeatures computes the delta-latency model features for a move's
+// effect on the stage "driver d → pin": the four analytic estimates of the
+// stage-delay *change* plus the post-move net context. pre/post are the
+// trees before and after the move; a is the golden analysis of the pre
+// tree (supplying slews and, for stages that do not exist pre-move, the
+// golden baseline the estimated deltas are measured against).
+func DeltaFeatures(t *tech.Tech, pre, post *ctree.Tree, a *sta.Analysis, d, pin ctree.NodeID, k int) []float64 {
+	slew := a.Slew[k][d]
+	if math.IsNaN(slew) {
+		slew = sta.DefaultSourceSlew
+	}
+	fPost := StageFeatures(t, post, d, pin, slew, k)
+	// Pre estimates: same pipeline when the stage exists; golden baseline
+	// otherwise (Type-III surgery creates brand-new stages).
+	exists := false
+	for _, pp := range pre.FanoutPins(d) {
+		if pp == pin {
+			exists = true
+			break
+		}
+	}
+	var preEst [4]float64
+	if exists {
+		fPre := StageFeatures(t, pre, d, pin, slew, k)
+		copy(preEst[:], fPre[:4])
+	} else {
+		g := GoldenStageDelay(a, d, pin, k)
+		for m := range preEst {
+			preEst[m] = g
+		}
+	}
+	out := make([]float64, NumFeatures)
+	for m := 0; m < 4; m++ {
+		out[m] = fPost[m] - preEst[m]
+		out[FeatPostBase+m] = fPost[m]
+	}
+	copy(out[FeatFanout:], fPost[4:]) // fanout, bbox area, AR, slew, drive
+	out[FeatGoldenPre] = GoldenStageDelay(a, d, pin, k)
+	return out
+}
+
+// GoldenStageDelta returns the golden change of the stage "d → pin" between
+// two analyses of the pre- and post-move trees.
+func GoldenStageDelta(pre, post *sta.Analysis, d, pin ctree.NodeID, k int) float64 {
+	return GoldenStageDelay(post, d, pin, k) - GoldenStageDelay(pre, d, pin, k)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/lut"
+	"skewvar/internal/power"
+	"skewvar/internal/sta"
+)
+
+// Metrics is one Table-5 row fragment for one tree under one flow.
+type Metrics struct {
+	SumVarPS float64   // Σ of per-pair max normalized skew variation
+	Norm     float64   // SumVarPS / original SumVarPS
+	SkewPS   []float64 // local skew per corner
+	NumCells int
+	PowerMW  float64
+	AreaUM2  float64
+}
+
+// Snapshot measures a tree against the design's pair set.
+func Snapshot(tm *sta.Timer, tr *ctree.Tree, pairs []ctree.SinkPair, alphas []float64) Metrics {
+	a := tm.Analyze(tr)
+	m := Metrics{SumVarPS: sta.SumVariation(a, alphas, pairs)}
+	for k := 0; k < a.K; k++ {
+		m.SkewPS = append(m.SkewPS, sta.MaxAbsSkew(a, k, pairs))
+	}
+	pr := power.Analyze(tm.Tech, tr)
+	m.NumCells = pr.NumCells
+	m.PowerMW = pr.PowerMW
+	m.AreaUM2 = pr.AreaUM2
+	return m
+}
+
+// FlowConfig drives RunFlows.
+type FlowConfig struct {
+	TopPairs int // pairs in the reported objective (0 = all)
+	Global   GlobalConfig
+	Local    LocalConfig
+}
+
+// FlowResult bundles the four Table-5 flows for one testcase.
+type FlowResult struct {
+	Alphas []float64
+	Pairs  int
+	Orig   Metrics
+	Global Metrics
+	Local  Metrics
+	GLocal Metrics
+	Trees  map[string]*ctree.Tree
+	GRes   *GlobalResult
+	LRes   *LocalResult // standalone local
+	GLRes  *LocalResult // local after global
+}
+
+// RunFlows executes the paper's three optimization flows (§5.2) against the
+// original tree: global alone, local alone, and global followed by local.
+// Normalization factors αk are measured once on the original tree and held
+// fixed, as in the paper.
+func RunFlows(tm *sta.Timer, ch *lut.Char, d *ctree.Design, model StageModel, cfg FlowConfig) (*FlowResult, error) {
+	pairs := d.TopPairs(cfg.TopPairs)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("core: design has no sink pairs")
+	}
+	a0 := tm.Analyze(d.Tree)
+	alphas := sta.Alphas(a0, pairs)
+
+	res := &FlowResult{Alphas: alphas, Pairs: len(pairs), Trees: map[string]*ctree.Tree{}}
+	res.Orig = Snapshot(tm, d.Tree, pairs, alphas)
+	res.Orig.Norm = 1
+	res.Trees["orig"] = d.Tree
+
+	// Global alone.
+	gcfg := cfg.Global
+	gcfg.TopPairs = cfg.TopPairs
+	gres, err := GlobalOpt(tm, ch, d, alphas, gcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: global flow: %w", err)
+	}
+	res.GRes = gres
+	res.Global = Snapshot(tm, gres.Tree, pairs, alphas)
+	res.Global.Norm = res.Global.SumVarPS / res.Orig.SumVarPS
+	res.Trees["global"] = gres.Tree
+
+	// Local alone.
+	lcfg := cfg.Local
+	lcfg.Model = model
+	lcfg.TopPairs = cfg.TopPairs
+	lres, err := LocalOpt(tm, d, alphas, lcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: local flow: %w", err)
+	}
+	res.LRes = lres
+	res.Local = Snapshot(tm, lres.Tree, pairs, alphas)
+	res.Local.Norm = res.Local.SumVarPS / res.Orig.SumVarPS
+	res.Trees["local"] = lres.Tree
+
+	// Global then local.
+	dg := d.Clone()
+	dg.Tree = gres.Tree.Clone()
+	glres, err := LocalOpt(tm, dg, alphas, lcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: global-local flow: %w", err)
+	}
+	res.GLRes = glres
+	res.GLocal = Snapshot(tm, glres.Tree, pairs, alphas)
+	res.GLocal.Norm = res.GLocal.SumVarPS / res.Orig.SumVarPS
+	res.Trees["global-local"] = glres.Tree
+	return res, nil
+}

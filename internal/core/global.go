@@ -1,0 +1,898 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/eco"
+	"skewvar/internal/legalize"
+	"skewvar/internal/lp"
+	"skewvar/internal/lut"
+	"skewvar/internal/sta"
+)
+
+// GlobalConfig tunes the LP-based global optimization. Zero values select
+// defaults.
+type GlobalConfig struct {
+	TopPairs      int       // pairs optimized (default 240)
+	MaxPairsPerLP int       // block size (default 250 — usually one block; arcs shared with out-of-block pairs are frozen, so prefer a single block when the LP fits)
+	MaxArcsPerLP  int       // arc cap per block (default 400)
+	USweep        []float64 // ΣV upper-bound fractions swept (default {0.9, 0.8, 0.6})
+	Beta          float64   // arc-delay growth bound of constraint (10) (default 1.2)
+	DmaxMargin    float64   // max-latency margin of constraint (9) (default 1.05)
+	MaxSinkRows   int       // sinks sampled for constraint (9) (default 30)
+	Eq7AllCorners bool      // apply the local-skew guard (7) at every corner, not just nominal
+	Eq8           bool      // include the (ck,c0) variation guard (8) rows
+	RatioRounds   int       // row-generation rounds for the W-window (11), free-Δ mode (default 3)
+	MinDeltaPS    float64   // smallest per-arc change realized by a full rebuild (default 6)
+	LPIters       int       // simplex iteration cap per solve (0 = solver default)
+
+	// FreeDelta switches to the paper's literal formulation with an
+	// independent Δ variable per (arc, corner), guarded only by the
+	// W-window (11) via row generation. The default (false) parameterizes
+	// each arc's change by two physically realizable knobs — wire snaking
+	// and gate (inverter-pair) delay — whose per-corner signatures come
+	// from the characterized LUTs, so every LP solution is
+	// ECO-implementable by construction. FreeDelta is kept as an ablation:
+	// it demonstrates why the paper needs constraint (11) at all
+	// (unconstrained per-corner deltas ask for physically impossible
+	// single-corner changes).
+	FreeDelta bool
+}
+
+func (c *GlobalConfig) setDefaults() {
+	if c.TopPairs == 0 {
+		c.TopPairs = 240
+	}
+	if c.MaxPairsPerLP == 0 {
+		c.MaxPairsPerLP = 250
+	}
+	if c.MaxArcsPerLP == 0 {
+		c.MaxArcsPerLP = 1200
+	}
+	if len(c.USweep) == 0 {
+		c.USweep = []float64{0.9, 0.8, 0.6}
+	}
+	if c.Beta == 0 {
+		c.Beta = 1.2
+	}
+	if c.DmaxMargin == 0 {
+		c.DmaxMargin = 1.05
+	}
+	if c.MaxSinkRows == 0 {
+		c.MaxSinkRows = 30
+	}
+	if c.RatioRounds == 0 {
+		c.RatioRounds = 3
+	}
+	if c.MinDeltaPS == 0 {
+		c.MinDeltaPS = 6
+	}
+}
+
+// debugECO enables verbose ECO tracing (tests only).
+var debugECO = false
+
+// LPStat records one block LP solve.
+type LPStat struct {
+	UFrac       float64
+	Block       int
+	Rows, Cols  int
+	Iters       int
+	Status      lp.Status
+	AbsDeltaSum float64 // LP objective (nominal-ps units of change)
+	ArcsChanged int
+	Reverted    bool // golden check rejected the block's ECOs
+}
+
+// GlobalResult is the outcome of the global optimization.
+type GlobalResult struct {
+	Tree         *ctree.Tree
+	SumVar0      float64
+	SumVar       float64
+	BestU        float64
+	LPStats      []LPStat
+	ArcsRebuilt  int
+	ECOSelectErr float64 // mean realization error of applied arcs
+}
+
+// GlobalOpt runs the LP-guided global optimization: per criticality block it
+// solves the Eq. (4)–(11) LP for the desired per-arc per-corner delay
+// changes under a swept ΣV bound U, realizes them with routing detours and
+// the Algorithm-1 inverter-pair ECO, and keeps the swept tree with the best
+// golden ΣV that does not degrade local skew.
+func GlobalOpt(tm *sta.Timer, ch *lut.Char, d *ctree.Design, alphas []float64, cfg GlobalConfig) (*GlobalResult, error) {
+	cfg.setDefaults()
+	pairs := d.TopPairs(cfg.TopPairs)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("core: no sink pairs")
+	}
+	a0 := tm.Analyze(d.Tree)
+	res := &GlobalResult{SumVar0: sta.SumVariation(a0, alphas, pairs)}
+	skew0 := make([]float64, a0.K)
+	for k := range skew0 {
+		skew0[k] = sta.MaxAbsSkew(a0, k, pairs)
+	}
+	// Envelopes for every corner pair (constraint (11) / Figure 2).
+	K := tm.Tech.NumCorners()
+	envs := map[[2]int]*lut.Envelope{}
+	for k := 0; k < K; k++ {
+		for k2 := k + 1; k2 < K; k2++ {
+			e, err := ch.FitEnvelope(k, k2)
+			if err != nil {
+				return nil, fmt.Errorf("core: envelope (%d,%d): %w", k, k2, err)
+			}
+			envs[[2]int{k, k2}] = e
+		}
+	}
+	blocks := partitionPairs(d.Tree, pairs, cfg.MaxPairsPerLP)
+	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
+	reb := eco.NewRebuilder(tm.Tech, ch, lg)
+
+	best := d.Tree
+	bestVar := res.SumVar0
+	bestU := 0.0
+	for _, frac := range cfg.USweep {
+		tree := d.Tree.Clone()
+		rebuilt := 0
+		var selErrSum float64
+		var selErrN int
+		prevVar := res.SumVar0
+		for bi, blk := range blocks {
+			pre := tree.Clone()
+			stat, n, es, en := optimizeBlock(tm, reb, tree, blk, pairs, alphas, envs, cfg, frac)
+			stat.Block = bi
+			stat.UFrac = frac
+			if n > 0 {
+				// Per-block golden acceptance: revert ECOs that the
+				// discretized realization turned counterproductive or that
+				// degraded any corner's local skew.
+				aB := tm.Analyze(tree)
+				vB := sta.SumVariation(aB, alphas, pairs)
+				degraded := vB >= prevVar-1e-9
+				if debugECO {
+					fmt.Printf("  [block %d U=%.2f] vB=%.0f prev=%.0f", bi, frac, vB, prevVar)
+					for k := 0; k < aB.K; k++ {
+						fmt.Printf(" skew%d=%.1f/%.1f", k, sta.MaxAbsSkew(aB, k, pairs), skew0[k])
+					}
+					fmt.Println()
+				}
+				for k := 0; k < aB.K && !degraded; k++ {
+					if sta.MaxAbsSkew(aB, k, pairs) > sta.SkewGuard(skew0[k]) {
+						degraded = true
+					}
+				}
+				if degraded {
+					tree = pre
+					stat.Reverted = true
+					n, es, en = 0, 0, 0
+				} else {
+					prevVar = vB
+				}
+			}
+			res.LPStats = append(res.LPStats, stat)
+			rebuilt += n
+			selErrSum += es
+			selErrN += en
+		}
+		if err := tree.Validate(); err != nil {
+			return nil, fmt.Errorf("core: global ECO corrupted tree at U=%.2f: %w", frac, err)
+		}
+		aU := tm.Analyze(tree)
+		vU := sta.SumVariation(aU, alphas, pairs)
+		ok := true
+		for k := 0; k < aU.K; k++ {
+			if sta.MaxAbsSkew(aU, k, pairs) > sta.SkewGuard(skew0[k]) {
+				ok = false
+				break
+			}
+		}
+		if ok && vU < bestVar-1e-6 {
+			best, bestVar, bestU = tree, vU, frac
+			res.ArcsRebuilt = rebuilt
+			if selErrN > 0 {
+				res.ECOSelectErr = selErrSum / float64(selErrN)
+			}
+		}
+	}
+	res.Tree = best.Clone()
+	res.SumVar = bestVar
+	res.BestU = bestU
+	return res, nil
+}
+
+// partitionPairs splits the pair list into geometry-coherent blocks of at
+// most maxPer pairs (so each block's LP shares arcs): pairs are sorted by a
+// coarse grid key of their midpoint, then chunked.
+func partitionPairs(tr *ctree.Tree, pairs []ctree.SinkPair, maxPer int) [][]ctree.SinkPair {
+	type keyed struct {
+		p   ctree.SinkPair
+		key int64
+	}
+	ks := make([]keyed, len(pairs))
+	for i, p := range pairs {
+		a, b := tr.Node(p.A).Loc, tr.Node(p.B).Loc
+		mx := (a.X + b.X) / 2
+		my := (a.Y + b.Y) / 2
+		const cell = 400.0
+		ks[i] = keyed{p: p, key: int64(my/cell)<<20 | int64(mx/cell)}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].p.Crit > ks[j].p.Crit
+	})
+	var out [][]ctree.SinkPair
+	for start := 0; start < len(ks); start += maxPer {
+		end := start + maxPer
+		if end > len(ks) {
+			end = len(ks)
+		}
+		blk := make([]ctree.SinkPair, 0, end-start)
+		for _, k := range ks[start:end] {
+			blk = append(blk, k.p)
+		}
+		out = append(out, blk)
+	}
+	return out
+}
+
+// arcKnobs holds the LP variables of one arc.
+//
+// Parameterized mode: two realizable knobs with per-corner signatures —
+// wire snaking w (µm; Δ_k = slopeW_k·w) and gate delay g (nominal ps;
+// Δ_k = prof_k·g with prof the LUT gate-stage corner profile).
+// Free-Δ mode: an independent (Δ⁺,Δ⁻) pair per corner.
+type arcKnobs struct {
+	wp, wm, gp, gm int
+	slopeW, prof   []float64
+	dp, dm         []int
+}
+
+// delta returns the arc's solved delay change at corner k.
+func (v *arcKnobs) delta(sol *lp.Solution, k int) float64 {
+	if v.dp != nil {
+		return sol.X[v.dp[k]] - sol.X[v.dm[k]]
+	}
+	w := sol.X[v.wp] - sol.X[v.wm]
+	g := sol.X[v.gp] - sol.X[v.gm]
+	return v.slopeW[k]*w + v.prof[k]*g
+}
+
+// appendDelta appends mult·Δ_k(arc) to a constraint row under construction.
+func (v *arcKnobs) appendDelta(k int, mult float64, idx *[]int, coef *[]float64) {
+	if v.dp != nil {
+		*idx = append(*idx, v.dp[k], v.dm[k])
+		*coef = append(*coef, mult, -mult)
+		return
+	}
+	*idx = append(*idx, v.wp, v.wm, v.gp, v.gm)
+	*coef = append(*coef, mult*v.slopeW[k], -mult*v.slopeW[k], mult*v.prof[k], -mult*v.prof[k])
+}
+
+// gateProfile returns the per-corner gate-stage delay profile of the arc's
+// buffer size, normalized to 1 at the nominal corner: the corner signature
+// of adding or removing inverter-pair delay on the arc.
+func gateProfile(reb *eco.Rebuilder, tree *ctree.Tree, arc *ctree.Arc) []float64 {
+	cellIdx := len(reb.T.Cells) / 2
+	for i := len(arc.Interior) - 1; i >= 0; i-- {
+		if n := tree.Node(arc.Interior[i]); n != nil && n.Kind == ctree.KindBuffer {
+			if ci := reb.T.CellIndex(n.CellName); ci >= 0 {
+				cellIdx = ci
+			}
+			break
+		}
+	}
+	K := reb.T.NumCorners()
+	prof := make([]float64, K)
+	base := reb.Char.Uniform(cellIdx, 0, reb.T.Nominal)
+	for k := 0; k < K; k++ {
+		prof[k] = reb.Char.Uniform(cellIdx, 0, k) / base
+	}
+	return prof
+}
+
+// optimizeBlock solves one block LP on the current tree state and realizes
+// the resulting per-arc delay changes (detour trims for fine corrections,
+// Algorithm-1 rebuilds for coarse ones). It returns the LP stat, the number
+// of changed arcs, and the accumulated realization error.
+func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, allPairs []ctree.SinkPair, alphas []float64, envs map[[2]int]*lut.Envelope, cfg GlobalConfig, frac float64) (LPStat, int, float64, int) {
+	a := tm.Analyze(tree)
+	seg := ctree.Segment(tree)
+	arcD := sta.ArcDelays(a, seg)
+	K := a.K
+
+	// Paths and the arc set.
+	pathOf := map[ctree.NodeID][]int{}
+	arcUse := map[int]int{}
+	var valid []ctree.SinkPair
+	for _, p := range blk {
+		ok := true
+		for _, s := range []ctree.NodeID{p.A, p.B} {
+			if _, done := pathOf[s]; done {
+				continue
+			}
+			path, err := seg.PathArcs(tree, s)
+			if err != nil {
+				ok = false
+				break
+			}
+			pathOf[s] = path
+		}
+		if ok {
+			valid = append(valid, p)
+			for _, s := range []ctree.NodeID{p.A, p.B} {
+				for _, ai := range pathOf[s] {
+					arcUse[ai]++
+				}
+			}
+		}
+	}
+	blk = valid
+	if len(blk) == 0 {
+		return LPStat{Status: lp.Infeasible}, 0, 0, 0
+	}
+	// Freeze arcs that out-of-block pairs also traverse: a block's ECO must
+	// not shift the skew of pairs its LP cannot see (the per-block golden
+	// check would revert the whole block otherwise).
+	inBlk := map[[2]ctree.NodeID]bool{}
+	for _, p := range blk {
+		inBlk[[2]ctree.NodeID{p.A, p.B}] = true
+	}
+	external := map[int]bool{}
+	for _, p := range allPairs {
+		if inBlk[[2]ctree.NodeID{p.A, p.B}] {
+			continue
+		}
+		for _, sID := range []ctree.NodeID{p.A, p.B} {
+			if path, err := seg.PathArcs(tree, sID); err == nil {
+				for _, ai := range path {
+					external[ai] = true
+				}
+			}
+		}
+	}
+	// Cap arcs by dropping trailing pairs.
+	arcs := sortedKeys(arcUse)
+	for len(arcs) > cfg.MaxArcsPerLP && len(blk) > 1 {
+		blk = blk[:len(blk)-1]
+		arcUse = map[int]int{}
+		for _, p := range blk {
+			for _, s := range []ctree.NodeID{p.A, p.B} {
+				for _, ai := range pathOf[s] {
+					arcUse[ai]++
+				}
+			}
+		}
+		arcs = sortedKeys(arcUse)
+	}
+	// Drop path entries of removed pairs so later constraints only touch
+	// arcs that have variables.
+	{
+		keep := map[ctree.NodeID]bool{}
+		for _, p := range blk {
+			keep[p.A] = true
+			keep[p.B] = true
+		}
+		for s := range pathOf {
+			if !keep[s] {
+				delete(pathOf, s)
+			}
+		}
+	}
+
+	// Per-arc geometry and knob signatures.
+	directLen := map[int]float64{}
+	slopes := map[int][]float64{}
+	profs := map[int][]float64{}
+	budgets := map[int]float64{}
+	endLoads := map[int]float64{}
+	for _, ai := range arcs {
+		arc := seg.Arcs[ai]
+		directLen[ai] = tree.Node(arc.Top).Loc.Manhattan(tree.Node(arc.Bottom).Loc)
+		endLoads[ai] = rebuildEndLoad(tm, tree, arc.Bottom)
+		slopes[ai] = reb.TrimSlopes(tree, arc, endLoads[ai])
+		profs[ai] = gateProfile(reb, tree, arc)
+		budgets[ai] = eco.ArcDetourBudget(tree, arc)
+	}
+
+	type lpOut struct {
+		sol  *lp.Solution
+		stat LPStat
+		vars map[int]*arcKnobs
+	}
+	buildSolve := func(allowed map[int]bool) lpOut {
+		prob := lp.NewProblem()
+		vars := map[int]*arcKnobs{}
+		for _, ai := range arcs {
+			frozen := external[ai] || (allowed != nil && !allowed[ai])
+			v := &arcKnobs{}
+			if cfg.FreeDelta {
+				for k := 0; k < K; k++ {
+					dd := arcD[ai][k]
+					up := (cfg.Beta - 1) * dd
+					dmin := reb.Char.MinDelayPerUM(k) * directLen[ai]
+					down := dd - dmin
+					if up < 0 || frozen {
+						up = 0
+					}
+					if down < 0 || frozen {
+						down = 0
+					}
+					v.dp = append(v.dp, prob.AddVar(0, up, 1, ""))
+					v.dm = append(v.dm, prob.AddVar(0, down, 1, ""))
+				}
+			} else {
+				v.slopeW = slopes[ai]
+				v.prof = profs[ai]
+				// Wire knob bounds: removable snaking vs. added snake; gate
+				// knob bounds from constraint (10), split half/half so the
+				// knobs' sum stays within the arc's range.
+				wUp, wDown := 400.0, budgets[ai]
+				gUp, gDown := math.Inf(1), math.Inf(1)
+				for k := 0; k < K; k++ {
+					dd := arcD[ai][k]
+					dmin := reb.Char.MinDelayPerUM(k) * directLen[ai]
+					if p := v.prof[k]; p > 0 {
+						gUp = math.Min(gUp, 0.5*(cfg.Beta-1)*dd/p)
+						gDown = math.Min(gDown, 0.5*math.Max(0, dd-dmin)/p)
+					}
+					if sl := v.slopeW[k]; sl > 0 {
+						wUp = math.Min(wUp, 0.5*(cfg.Beta-1)*dd/sl)
+						wDown = math.Min(wDown, math.Min(budgets[ai], 0.5*math.Max(0, dd-dmin)/sl))
+					}
+				}
+				if frozen {
+					wUp, wDown, gUp, gDown = 0, 0, 0, 0
+				}
+				wCost := v.slopeW[0]
+				if wCost <= 0 {
+					wCost = 1e-3
+				}
+				v.wp = prob.AddVar(0, math.Max(0, wUp), wCost, "")
+				v.wm = prob.AddVar(0, math.Max(0, wDown), wCost, "")
+				v.gp = prob.AddVar(0, math.Max(0, gUp), 1, "")
+				v.gm = prob.AddVar(0, math.Max(0, gDown), 1, "")
+			}
+			vars[ai] = v
+		}
+		vVar := make([]int, len(blk))
+		var curBlockV float64
+		for i, p := range blk {
+			vVar[i] = prob.AddVar(0, lp.Inf, 0, "")
+			curBlockV += sta.PairVariation(a, alphas, p)
+		}
+		// pathDelta appends mult·δ(lat(A)−lat(B)) at corner k.
+		pathDelta := func(p ctree.SinkPair, k int, mult float64, idx *[]int, coef *[]float64) {
+			for _, ai := range pathOf[p.A] {
+				vars[ai].appendDelta(k, mult, idx, coef)
+			}
+			for _, ai := range pathOf[p.B] {
+				vars[ai].appendDelta(k, -mult, idx, coef)
+			}
+		}
+		// Constraint (6): V bounds every pairwise-corner normalized
+		// variation.
+		for i, p := range blk {
+			for k := 0; k < K; k++ {
+				sk0 := a.Skew(k, p.A, p.B)
+				for k2 := k + 1; k2 < K; k2++ {
+					s20 := a.Skew(k2, p.A, p.B)
+					base := alphas[k]*sk0 - alphas[k2]*s20
+					for sign := -1.0; sign <= 1.0; sign += 2 {
+						var idx []int
+						var coef []float64
+						idx = append(idx, vVar[i])
+						coef = append(coef, 1)
+						pathDelta(p, k, -sign*alphas[k], &idx, &coef)
+						pathDelta(p, k2, sign*alphas[k2], &idx, &coef)
+						prob.AddConstraint(lp.GE, sign*base, idx, coef)
+					}
+				}
+			}
+		}
+		// Constraint (5): ΣV ≤ U.
+		{
+			idx := append([]int(nil), vVar...)
+			coef := make([]float64, len(vVar))
+			for i := range coef {
+				coef[i] = 1
+			}
+			prob.AddConstraint(lp.LE, frac*curBlockV, idx, coef)
+		}
+		// Constraint (7): no local-skew degradation.
+		maxK7 := 1
+		if cfg.Eq7AllCorners {
+			maxK7 = K
+		}
+		for _, p := range blk {
+			for k := 0; k < maxK7; k++ {
+				s0 := a.Skew(k, p.A, p.B)
+				bound := math.Abs(s0) + 1 // 1ps slack avoids freezing at s0≈0
+				var idx []int
+				var coef []float64
+				pathDelta(p, k, 1, &idx, &coef)
+				prob.AddConstraint(lp.LE, bound-s0, idx, coef)
+				idx, coef = nil, nil
+				pathDelta(p, k, -1, &idx, &coef)
+				prob.AddConstraint(lp.LE, bound+s0, idx, coef)
+			}
+		}
+		// Constraint (8): keep (ck, c0) variation from degrading (optional).
+		if cfg.Eq8 {
+			for _, p := range blk {
+				s00 := a.Skew(0, p.A, p.B)
+				for k := 1; k < K; k++ {
+					sk0 := a.Skew(k, p.A, p.B)
+					base := alphas[k]*sk0 - s00
+					bound := math.Abs(base) + 1
+					var idx []int
+					var coef []float64
+					pathDelta(p, k, alphas[k], &idx, &coef)
+					pathDelta(p, 0, -1, &idx, &coef)
+					prob.AddConstraint(lp.LE, bound-base, idx, coef)
+					idx, coef = nil, nil
+					pathDelta(p, k, -alphas[k], &idx, &coef)
+					pathDelta(p, 0, 1, &idx, &coef)
+					prob.AddConstraint(lp.LE, bound+base, idx, coef)
+				}
+			}
+		}
+		// Constraint (9): max-latency bound on a sample of the latest sinks.
+		{
+			type sl struct {
+				s   ctree.NodeID
+				lat float64
+			}
+			var sinks []sl
+			for s := range pathOf {
+				sinks = append(sinks, sl{s, a.Arrive[0][s]})
+			}
+			sort.Slice(sinks, func(i, j int) bool {
+				if sinks[i].lat != sinks[j].lat {
+					return sinks[i].lat > sinks[j].lat
+				}
+				return sinks[i].s < sinks[j].s
+			})
+			if len(sinks) > cfg.MaxSinkRows {
+				sinks = sinks[:cfg.MaxSinkRows]
+			}
+			for _, e := range sinks {
+				for k := 0; k < K; k++ {
+					var idx []int
+					var coef []float64
+					for _, ai := range pathOf[e.s] {
+						vars[ai].appendDelta(k, 1, &idx, &coef)
+					}
+					prob.AddConstraint(lp.LE, cfg.DmaxMargin*a.MaxLat[k]-a.Arrive[k][e.s], idx, coef)
+				}
+			}
+		}
+
+		// Solve; in free-Δ mode generate W-window (11) rows on violation.
+		var sol *lp.Solution
+		var err error
+		stat := LPStat{}
+		maxRounds := 0
+		if cfg.FreeDelta {
+			maxRounds = cfg.RatioRounds
+		}
+		for round := 0; ; round++ {
+			sol, err = prob.Solve(lp.Options{MaxIters: cfg.LPIters})
+			if err != nil || sol.Status != lp.Optimal {
+				if sol != nil {
+					stat.Status = sol.Status
+					stat.Iters = sol.Iterations
+				}
+				stat.Rows = prob.NumRows()
+				stat.Cols = prob.NumVars()
+				return lpOut{stat: stat}
+			}
+			if round >= maxRounds {
+				break
+			}
+			added := 0
+			for _, ai := range arcs {
+				v := vars[ai]
+				x0 := arcD[ai][0] / math.Max(directLen[ai], 1)
+				for k := 0; k < K; k++ {
+					for k2 := k + 1; k2 < K; k2++ {
+						env := envs[[2]int{k, k2}]
+						wmin, wmax := env.Bounds(x0)
+						// The window gates *changes*: widen the band so the
+						// arc's existing ratio stays feasible at Δ=0.
+						if arcD[ai][k2] > 1e-6 {
+							cur := arcD[ai][k] / arcD[ai][k2]
+							if cur > wmax {
+								wmax = cur
+							}
+							if cur < wmin {
+								wmin = cur
+							}
+						}
+						num := arcD[ai][k] + v.delta(sol, k)
+						den := arcD[ai][k2] + v.delta(sol, k2)
+						if den <= 1e-6 {
+							continue
+						}
+						r := num / den
+						if r > wmax*(1+1e-6) {
+							var idx []int
+							var coef []float64
+							v.appendDelta(k, 1, &idx, &coef)
+							v.appendDelta(k2, -wmax, &idx, &coef)
+							prob.AddConstraint(lp.LE, wmax*arcD[ai][k2]-arcD[ai][k], idx, coef)
+							added++
+						} else if r < wmin*(1-1e-6) {
+							var idx []int
+							var coef []float64
+							v.appendDelta(k, 1, &idx, &coef)
+							v.appendDelta(k2, -wmin, &idx, &coef)
+							prob.AddConstraint(lp.GE, wmin*arcD[ai][k2]-arcD[ai][k], idx, coef)
+							added++
+						}
+					}
+				}
+			}
+			if added == 0 {
+				break
+			}
+		}
+		stat.Status = sol.Status
+		stat.Iters = sol.Iterations
+		stat.Rows = prob.NumRows()
+		stat.Cols = prob.NumVars()
+		stat.AbsDeltaSum = sol.Obj
+		return lpOut{sol: sol, stat: stat, vars: vars}
+	}
+
+	// Pass 1: unrestricted. Pass 2: concentrate the change onto the most
+	// useful arcs so per-arc deltas are large enough to realize.
+	first := buildSolve(nil)
+	if first.sol == nil {
+		return first.stat, 0, 0, 0
+	}
+	type arcReq struct {
+		ai  int
+		req float64
+	}
+	var reqs []arcReq
+	for _, ai := range arcs {
+		var req float64
+		for k := 0; k < K; k++ {
+			req += math.Abs(first.vars[ai].delta(first.sol, k))
+		}
+		if req > 1e-6 {
+			reqs = append(reqs, arcReq{ai, req})
+		}
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].req != reqs[j].req {
+			return reqs[i].req > reqs[j].req
+		}
+		return reqs[i].ai < reqs[j].ai
+	})
+	topN := len(arcs) / 8
+	if topN < 8 {
+		topN = 8
+	}
+	allowed := map[int]bool{}
+	for i, r := range reqs {
+		if i < topN || r.req >= cfg.MinDeltaPS {
+			allowed[r.ai] = true
+		}
+	}
+	out := first
+	if len(allowed) > 0 && len(allowed) < len(arcs) {
+		if second := buildSolve(allowed); second.sol != nil {
+			out = second
+		}
+	}
+	sol, vars, stat := out.sol, out.vars, out.stat
+
+	// Realize per arc with closed-loop golden feedback: arcs are processed
+	// top-down, the live tree is re-timed incrementally after every change,
+	// and each arc's operator (detour trim or Algorithm-1 rebuild) is
+	// selected against the arc's *live* delay — so cross-arc couplings
+	// (shared-net loading, slew shifts) are compensated instead of
+	// accumulating.
+	rebuilt := 0
+	var selErr float64
+	selN := 0
+	aLive := a
+	for _, ai := range arcs {
+		target := make([]float64, K)
+		maxAbs := 0.0
+		for k := 0; k < K; k++ {
+			delta := vars[ai].delta(sol, k)
+			target[k] = arcD[ai][k] + delta
+			if d := math.Abs(delta); d > maxAbs {
+				maxAbs = d
+			}
+		}
+		if maxAbs < 0.5 || directLen[ai] < 5 || external[ai] {
+			continue
+		}
+		arc := seg.Arcs[ai]
+		// Live arc delay (anchors persist across earlier realizations).
+		live := make([]float64, K)
+		for k := 0; k < K; k++ {
+			top := aLive.Arrive[k][arc.Top]
+			if math.IsNaN(top) {
+				top = 0
+			}
+			live[k] = aLive.Arrive[k][arc.Bottom] - top
+		}
+		var doNothing float64
+		for k := 0; k < K; k++ {
+			doNothing += math.Abs(live[k] - target[k])
+			for k2 := k + 1; k2 < K; k2++ {
+				doNothing += math.Abs((live[k] - live[k2]) - (target[k] - target[k2]))
+			}
+		}
+		bestErr := math.Inf(1)
+		var trim *eco.TrimSolution
+		var rebuildSol *eco.Solution
+		// Added snake is capped by the driving net's capacitance budget so
+		// the ECO never creates max-load violations.
+		trimCap := 0.0
+		if drv := tree.Driver(arc.Bottom); drv != ctree.NoNode {
+			k0 := tm.Tech.Nominal
+			trimCap = (0.97*tm.Tech.MaxLoad - tm.NetLoad(tree, drv, k0)) / tm.Tech.WireC(k0)
+		}
+		if trimCap > 0.5 {
+			if t, err := reb.SelectTrim(tree, arc, live, target, endLoads[ai], trimCap); err == nil {
+				bestErr = t.Err
+				trim = t
+			}
+		} else if t, err := reb.SelectTrim(tree, arc, live, target, endLoads[ai], 0.5); err == nil && t.ExtraUM < 0 {
+			// No headroom to add wire, but removal is still available.
+			bestErr = t.Err
+			trim = t
+		}
+		if maxAbs >= cfg.MinDeltaPS {
+			if s, err := reb.Select(directLen[ai], endLoads[ai], target); err == nil && s.Err < bestErr {
+				bestErr = s.Err
+				rebuildSol = s
+				trim = nil
+			}
+		}
+		if bestErr > 0.8*doNothing {
+			continue
+		}
+		var dirty []ctree.NodeID
+		var err error
+		pre := tree.Clone()
+		aPre := aLive
+		switch {
+		case rebuildSol != nil:
+			dirty, err = reb.RebuildArc(tree, arc, rebuildSol)
+		case trim != nil:
+			dirty, err = reb.ApplyTrim(tree, arc, trim.ExtraUM)
+		default:
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		aLive = tm.AnalyzeIncremental(tree, aLive, dirty)
+		// Per-arc golden gate: the realized arc must actually move toward
+		// its target (estimates — especially full rebuilds — carry
+		// placement/interpolation noise the selection cannot see).
+		var errAfter float64
+		for k := 0; k < K; k++ {
+			top := aLive.Arrive[k][arc.Top]
+			if math.IsNaN(top) {
+				top = 0
+			}
+			l := aLive.Arrive[k][arc.Bottom] - top
+			errAfter += math.Abs(l - target[k])
+			for k2 := k + 1; k2 < K; k2++ {
+				top2 := aLive.Arrive[k2][arc.Top]
+				if math.IsNaN(top2) {
+					top2 = 0
+				}
+				l2 := aLive.Arrive[k2][arc.Bottom] - top2
+				errAfter += math.Abs((l - l2) - (target[k] - target[k2]))
+			}
+		}
+		if errAfter > 0.9*doNothing {
+			*tree = *pre
+			aLive = aPre
+			continue
+		}
+		rebuilt++
+		selErr += bestErr
+		selN++
+	}
+	// Refinement sweeps: first-pass realizations shift sibling arcs (shared
+	// nets, slews), and skipped arcs break the LP's coordinated pair
+	// balance. Re-trim every arc toward its target from the live state
+	// until the residuals stop improving.
+	for pass := 0; pass < 2; pass++ {
+		changed := 0
+		for _, ai := range arcs {
+			if external[ai] || directLen[ai] < 5 {
+				continue
+			}
+			arc := seg.Arcs[ai]
+			target := make([]float64, K)
+			for k := 0; k < K; k++ {
+				target[k] = arcD[ai][k] + vars[ai].delta(sol, k)
+			}
+			live := make([]float64, K)
+			for k := 0; k < K; k++ {
+				top := aLive.Arrive[k][arc.Top]
+				if math.IsNaN(top) {
+					top = 0
+				}
+				live[k] = aLive.Arrive[k][arc.Bottom] - top
+			}
+			trimCap := 0.0
+			if drv := tree.Driver(arc.Bottom); drv != ctree.NoNode {
+				k0 := tm.Tech.Nominal
+				trimCap = (0.97*tm.Tech.MaxLoad - tm.NetLoad(tree, drv, k0)) / tm.Tech.WireC(k0)
+			}
+			if trimCap < 0.5 {
+				trimCap = 0.5 // still allows snake removal
+			}
+			t, err := reb.SelectTrim(tree, arc, live, target, endLoads[ai], trimCap)
+			if err != nil {
+				continue
+			}
+			dirty, err := reb.ApplyTrim(tree, arc, t.ExtraUM)
+			if err != nil {
+				continue
+			}
+			aLive = tm.AnalyzeIncremental(tree, aLive, dirty)
+			changed++
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	stat.ArcsChanged = rebuilt
+	return stat, rebuilt, selErr, selN
+}
+
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// rebuildEndLoad mirrors the Rebuilder's bottom-anchor load model, with
+// access to the timer for branch taps.
+func rebuildEndLoad(tm *sta.Timer, tree *ctree.Tree, bottom ctree.NodeID) float64 {
+	n := tree.Node(bottom)
+	switch n.Kind {
+	case ctree.KindSink:
+		return tm.Tech.SinkCap
+	case ctree.KindBuffer, ctree.KindSource:
+		if c := tm.Tech.CellByName(n.CellName); c != nil {
+			return c.InCap
+		}
+	}
+	var load float64
+	for _, p := range tree.FanoutPins(bottom) {
+		pn := tree.Node(p)
+		if pn.Kind == ctree.KindSink {
+			load += tm.Tech.SinkCap
+		} else if c := tm.Tech.CellByName(pn.CellName); c != nil {
+			load += c.InCap
+		}
+	}
+	if load == 0 {
+		load = 3
+	}
+	return load
+}
+
+// SetDebugECO toggles verbose ECO tracing (debug builds only).
+func SetDebugECO(v bool) { debugECO = v }

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/eco"
+	"skewvar/internal/geom"
+	"skewvar/internal/legalize"
+	"skewvar/internal/sta"
+)
+
+// LocalConfig tunes the Algorithm-2 iterative optimization. Zero values
+// select defaults (R = 5 as in the paper).
+type LocalConfig struct {
+	Model       StageModel
+	R           int     // moves implemented in parallel per batch (default 5)
+	MaxIters    int     // iteration cap (default 25)
+	MaxBatches  int     // batches tried per iteration before giving up (default 4)
+	TopPairs    int     // pairs in the objective (0 = all design pairs)
+	CoverPairs  int     // highest-variation pairs whose path buffers are perturbed (default 150)
+	MinPredGain float64 // minimum predicted ΣV gain to try a move, ps (default 0.5)
+	MaxMoves    int     // enumeration cap per iteration (default 4000)
+	Random      bool    // random-move baseline (Figure 8's comparison)
+	FullSTA     bool    // force full re-analysis for every golden trial (default: incremental timing)
+	Seed        int64
+	Workers     int // parallelism (default NumCPU)
+}
+
+func (c *LocalConfig) setDefaults() {
+	if c.R == 0 {
+		c.R = 5
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 25
+	}
+	if c.MaxBatches == 0 {
+		c.MaxBatches = 4
+	}
+	if c.CoverPairs == 0 {
+		c.CoverPairs = 150
+	}
+	if c.MinPredGain == 0 {
+		c.MinPredGain = 0.5
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 4000
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+}
+
+// IterRecord logs one accepted iteration for the Figure-8 trajectory.
+type IterRecord struct {
+	Iter      int
+	MoveType  eco.MoveType
+	Move      string
+	Predicted float64 // predicted ΣV gain, ps
+	Actual    float64 // golden ΣV gain, ps
+	SumVar    float64 // ΣV after the iteration, ps
+}
+
+// LocalResult is the outcome of the local optimization.
+type LocalResult struct {
+	Tree       *ctree.Tree
+	Records    []IterRecord
+	SumVar0    float64
+	SumVar     float64
+	MovesTried int // golden evaluations
+	MovesPred  int // predictor evaluations
+}
+
+// LocalOpt runs the Algorithm-2 flow on the design: enumerate Table-2
+// candidate moves on buffers covering the highest-variation pairs, rank them
+// by model-predicted ΣV reduction, implement the top R on clones in
+// parallel, verify with the golden timer, accept the best improving and
+// non-degrading move, and repeat until the predictor finds no further
+// reduction.
+func LocalOpt(tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig) (*LocalResult, error) {
+	cfg.setDefaults()
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: LocalOpt needs a stage model")
+	}
+	if err := validateModel(cfg.Model, tm.Tech.NumCorners()); err != nil {
+		return nil, err
+	}
+	pairs := d.TopPairs(cfg.TopPairs)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("core: no sink pairs")
+	}
+	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := d.Tree.Clone()
+	a0 := tm.Analyze(cur)
+	res := &LocalResult{SumVar0: sta.SumVariation(a0, alphas, pairs)}
+	curVar := res.SumVar0
+	// Local-skew guard: never degrade the per-corner local skew.
+	skew0 := make([]float64, a0.K)
+	for k := range skew0 {
+		skew0[k] = sta.MaxAbsSkew(a0, k, pairs)
+	}
+
+	pairsBySink := map[ctree.NodeID][]int{}
+	for i, p := range pairs {
+		pairsBySink[p.A] = append(pairsBySink[p.A], i)
+		pairsBySink[p.B] = append(pairsBySink[p.B], i)
+	}
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		a := tm.Analyze(cur)
+		moves := enumerateCandidates(tm, cur, d, a, alphas, pairs, cfg, rng)
+		if len(moves) == 0 {
+			break
+		}
+		scored := predictGains(tm, cur, a, alphas, pairs, pairsBySink, moves, cfg, lg)
+		res.MovesPred += len(moves)
+		if cfg.Random {
+			rng.Shuffle(len(scored), func(i, j int) { scored[i], scored[j] = scored[j], scored[i] })
+		} else {
+			sort.SliceStable(scored, func(i, j int) bool { return scored[i].gain > scored[j].gain })
+			// Termination per Algorithm 2: stop when the predictor sees no
+			// further reduction.
+			if scored[0].gain < cfg.MinPredGain {
+				break
+			}
+		}
+		accepted := false
+		for batch := 0; batch < cfg.MaxBatches && !accepted; batch++ {
+			lo := batch * cfg.R
+			if lo >= len(scored) {
+				break
+			}
+			hi := lo + cfg.R
+			if hi > len(scored) {
+				hi = len(scored)
+			}
+			cands := scored[lo:hi]
+			if !cfg.Random {
+				// Don't waste golden runs on predicted-useless moves.
+				if cands[0].gain < cfg.MinPredGain {
+					break
+				}
+			}
+			type trial struct {
+				tree *ctree.Tree
+				v    float64
+				ok   bool
+				idx  int
+			}
+			trials := make([]trial, len(cands))
+			var wg sync.WaitGroup
+			for i := range cands {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					t2 := cur.Clone()
+					if err := eco.Apply(t2, tm.Tech, lg, cands[i].move); err != nil {
+						return
+					}
+					if t2.Validate() != nil {
+						return
+					}
+					var a2 *sta.Analysis
+					if cfg.FullSTA {
+						a2 = tm.Analyze(t2)
+					} else {
+						a2 = tm.AnalyzeIncremental(t2, a, moveDirty(cands[i].move))
+					}
+					v2 := sta.SumVariation(a2, alphas, pairs)
+					for k := 0; k < a2.K; k++ {
+						if sta.MaxAbsSkew(a2, k, pairs) > sta.SkewGuard(skew0[k]) {
+							return // local-skew degradation
+						}
+					}
+					trials[i] = trial{tree: t2, v: v2, ok: true, idx: i}
+				}(i)
+			}
+			wg.Wait()
+			res.MovesTried += len(cands)
+			best := -1
+			for i, tr := range trials {
+				if tr.ok && tr.v < curVar-1e-6 && (best < 0 || tr.v < trials[best].v) {
+					best = i
+				}
+			}
+			if best >= 0 {
+				gain := curVar - trials[best].v
+				cur = trials[best].tree
+				curVar = trials[best].v
+				res.Records = append(res.Records, IterRecord{
+					Iter:      iter,
+					MoveType:  cands[best].move.Type,
+					Move:      cands[best].move.String(),
+					Predicted: cands[best].gain,
+					Actual:    gain,
+					SumVar:    curVar,
+				})
+				accepted = true
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	res.Tree = cur
+	res.SumVar = curVar
+	return res, nil
+}
+
+// enumerateCandidates lists Table-2 moves on buffers that drive the
+// highest-variation pairs.
+func enumerateCandidates(tm *sta.Timer, cur *ctree.Tree, d *ctree.Design, a *sta.Analysis, alphas []float64, pairs []ctree.SinkPair, cfg LocalConfig, rng *rand.Rand) []eco.Move {
+	// Rank pairs by current variation; take path buffers of the top ones.
+	type pv struct {
+		i int
+		v float64
+	}
+	pvs := make([]pv, len(pairs))
+	for i, p := range pairs {
+		pvs[i] = pv{i, sta.PairVariation(a, alphas, p)}
+	}
+	sort.Slice(pvs, func(i, j int) bool { return pvs[i].v > pvs[j].v })
+	if len(pvs) > cfg.CoverPairs {
+		pvs = pvs[:cfg.CoverPairs]
+	}
+	bufSet := map[ctree.NodeID]bool{}
+	for _, e := range pvs {
+		p := pairs[e.i]
+		for _, s := range []ctree.NodeID{p.A, p.B} {
+			for _, id := range cur.PathToRoot(s) {
+				if n := cur.Node(id); n != nil && n.Kind == ctree.KindBuffer {
+					bufSet[id] = true
+				}
+			}
+		}
+	}
+	bufs := make([]ctree.NodeID, 0, len(bufSet))
+	for id := range bufSet {
+		bufs = append(bufs, id)
+	}
+	sort.Slice(bufs, func(i, j int) bool { return bufs[i] < bufs[j] })
+	var moves []eco.Move
+	for _, b := range bufs {
+		moves = append(moves, eco.Enumerate(cur, tm.Tech, b, d.Die)...)
+	}
+	if len(moves) > cfg.MaxMoves {
+		rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
+		moves = moves[:cfg.MaxMoves]
+	}
+	return moves
+}
+
+type scoredMove struct {
+	move eco.Move
+	gain float64
+}
+
+// MoveScorer predicts the ΣV gain of candidate moves against a fixed
+// pre-move tree state. It is safe for concurrent use; pre-move analytic
+// stage estimates are cached across calls, since many candidate moves touch
+// the same stages.
+type MoveScorer struct {
+	tm          *sta.Timer
+	cur         *ctree.Tree
+	a           *sta.Analysis
+	alphas      []float64
+	pairs       []ctree.SinkPair
+	pairsBySink map[ctree.NodeID][]int
+	model       StageModel
+	lg          *legalize.Legalizer
+	skewCap     []float64 // per-corner local-skew ceiling (pre-move max |skew|)
+
+	preMu    sync.Mutex
+	preCache map[moveScorerKey][4]float64
+}
+
+type moveScorerKey struct {
+	d, p ctree.NodeID
+	k    int
+}
+
+// NewMoveScorer analyzes the tree and prepares a scorer over the pair set.
+func NewMoveScorer(tm *sta.Timer, tr *ctree.Tree, die geom.Rect, alphas []float64, pairs []ctree.SinkPair, model StageModel) *MoveScorer {
+	pbs := map[ctree.NodeID][]int{}
+	for i, p := range pairs {
+		pbs[p.A] = append(pbs[p.A], i)
+		pbs[p.B] = append(pbs[p.B], i)
+	}
+	a := tm.Analyze(tr)
+	caps := make([]float64, a.K)
+	for k := range caps {
+		caps[k] = sta.MaxAbsSkew(a, k, pairs)
+	}
+	return &MoveScorer{
+		tm: tm, cur: tr, a: a, alphas: alphas, pairs: pairs,
+		pairsBySink: pbs, model: model,
+		lg:       legalize.New(die, tm.Tech.SiteW, tm.Tech.RowH),
+		skewCap:  caps,
+		preCache: map[moveScorerKey][4]float64{},
+	}
+}
+
+// Analysis exposes the scorer's pre-move golden analysis.
+func (s *MoveScorer) Analysis() *sta.Analysis { return s.a }
+
+// preEstimates returns the cached analytic pre-move stage estimates (4
+// modes) for the stage "d → p" at corner k. Stages that do not exist
+// pre-move (surgery targets) use the golden pre arrival difference for all
+// modes, so the estimated delta is measured against the true old path.
+func (s *MoveScorer) preEstimates(d, p ctree.NodeID, k int) [4]float64 {
+	key := moveScorerKey{d, p, k}
+	s.preMu.Lock()
+	v, ok := s.preCache[key]
+	s.preMu.Unlock()
+	if ok {
+		return v
+	}
+	slew := s.a.Slew[k][d]
+	if math.IsNaN(slew) {
+		slew = sta.DefaultSourceSlew
+	}
+	exists := false
+	for _, pp := range s.cur.FanoutPins(d) {
+		if pp == p {
+			exists = true
+			break
+		}
+	}
+	if exists {
+		f := StageFeatures(s.tm.Tech, s.cur, d, p, slew, k)
+		copy(v[:], f[:4])
+	} else {
+		g := GoldenStageDelay(s.a, d, p, k)
+		for m := range v {
+			v[m] = g
+		}
+	}
+	s.preMu.Lock()
+	s.preCache[key] = v
+	s.preMu.Unlock()
+	return v
+}
+
+// predictGains evaluates every candidate move concurrently.
+func predictGains(tm *sta.Timer, cur *ctree.Tree, a *sta.Analysis, alphas []float64, pairs []ctree.SinkPair, pairsBySink map[ctree.NodeID][]int, moves []eco.Move, cfg LocalConfig, lg *legalize.Legalizer) []scoredMove {
+	caps := make([]float64, a.K)
+	for k := range caps {
+		caps[k] = sta.MaxAbsSkew(a, k, pairs)
+	}
+	sc := &MoveScorer{
+		tm: tm, cur: cur, a: a, alphas: alphas, pairs: pairs,
+		pairsBySink: pairsBySink, model: cfg.Model, lg: lg,
+		skewCap:  caps,
+		preCache: map[moveScorerKey][4]float64{},
+	}
+	out := make([]scoredMove, len(moves))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for mi, mv := range moves {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(mi int, mv eco.Move) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[mi] = scoredMove{move: mv, gain: sc.Gain(mv)}
+		}(mi, mv)
+	}
+	wg.Wait()
+	return out
+}
+
+// Gain returns the predicted ΣV gain of a single move: the affected stages
+// of the (virtually applied) move are re-estimated with the model, the
+// per-sink latency deltas are propagated down the post-move tree, and the
+// predicted variation reduction over the touched pairs is summed.
+func (s *MoveScorer) Gain(mv eco.Move) float64 {
+	tm, cur, a, alphas, pairs, pairsBySink := s.tm, s.cur, s.a, s.alphas, s.pairs, s.pairsBySink
+	post := cur.Clone()
+	if err := eco.Apply(post, tm.Tech, s.lg, mv); err != nil {
+		return math.Inf(-1)
+	}
+	stages := affectedStages(post, mv)
+	if len(stages) == 0 {
+		return math.Inf(-1)
+	}
+	K := a.K
+	// Per-head per-corner arrival deltas.
+	type hd struct {
+		head  ctree.NodeID
+		delta []float64
+	}
+	heads := make([]hd, 0, len(stages))
+	for _, st := range stages {
+		d, p := st[0], st[1]
+		delta := make([]float64, K)
+		changed := false
+		for k := 0; k < K; k++ {
+			slew := a.Slew[k][d]
+			if math.IsNaN(slew) {
+				slew = sta.DefaultSourceSlew
+			}
+			fPost := StageFeatures(tm.Tech, post, d, p, slew, k)
+			pre := s.preEstimates(d, p, k)
+			feats := make([]float64, NumFeatures)
+			for m := 0; m < 4; m++ {
+				feats[m] = fPost[m] - pre[m]
+				feats[FeatPostBase+m] = fPost[m]
+			}
+			copy(feats[FeatFanout:], fPost[4:])
+			feats[FeatGoldenPre] = GoldenStageDelay(a, d, p, k)
+			delta[k] = s.model.PredictDelta(k, feats)
+			if math.Abs(delta[k]) > 1e-3 {
+				changed = true
+			}
+		}
+		if changed {
+			heads = append(heads, hd{head: p, delta: delta})
+		}
+	}
+	if len(heads) == 0 {
+		return 0
+	}
+	// Propagate to sinks (on the post tree, where surgery re-parenting is
+	// already in effect).
+	sinkDelta := map[ctree.NodeID][]float64{}
+	for _, h := range heads {
+		for _, s := range post.SubtreeSinks(h.head) {
+			sd := sinkDelta[s]
+			if sd == nil {
+				sd = make([]float64, K)
+				sinkDelta[s] = sd
+			}
+			for k := 0; k < K; k++ {
+				sd[k] += h.delta[k]
+			}
+		}
+	}
+	// Surgery also changes the path itself: arrival(child) delta must be
+	// measured against the old path, which the head-delta of the new stage
+	// (predicted vs golden-pre fallback) already encodes.
+	var gain float64
+	seen := map[int]bool{}
+	for sid := range sinkDelta {
+		for _, pi := range pairsBySink[sid] {
+			if seen[pi] {
+				continue
+			}
+			seen[pi] = true
+			p := pairs[pi]
+			oldV := sta.PairVariation(a, alphas, p)
+			newV := 0.0
+			dA, dB := sinkDelta[p.A], sinkDelta[p.B]
+			for k := 0; k < K; k++ {
+				sk := a.Skew(k, p.A, p.B)
+				if dA != nil {
+					sk += dA[k]
+				}
+				if dB != nil {
+					sk -= dB[k]
+				}
+				// Predicted local-skew guard: a move whose predicted |skew|
+				// pierces the pre-move per-corner ceiling would be rejected
+				// by the golden check anyway — filter it here so compliant
+				// moves surface in the ranking (the paper's "does not
+				// degrade local skew" constraint, applied at prediction
+				// time).
+				if len(s.skewCap) > k && math.Abs(sk) > sta.SkewGuard(s.skewCap[k]) {
+					return math.Inf(-1)
+				}
+				for k2 := k + 1; k2 < K; k2++ {
+					s2 := a.Skew(k2, p.A, p.B)
+					if dA != nil {
+						s2 += dA[k2]
+					}
+					if dB != nil {
+						s2 -= dB[k2]
+					}
+					if d := math.Abs(alphas[k]*sk - alphas[k2]*s2); d > newV {
+						newV = d
+					}
+				}
+			}
+			gain += oldV - newV
+		}
+	}
+	return gain
+}
+
+// ActualMoveGain measures the golden-timer ΣV gain of applying one move to
+// the tree (positive = improvement). Used as the ground truth when
+// evaluating predictors (Figure 6).
+func ActualMoveGain(tm *sta.Timer, tr *ctree.Tree, die geom.Rect, alphas []float64, pairs []ctree.SinkPair, mv eco.Move) float64 {
+	lg := legalize.New(die, tm.Tech.SiteW, tm.Tech.RowH)
+	a0 := tm.Analyze(tr)
+	v0 := sta.SumVariation(a0, alphas, pairs)
+	t2 := tr.Clone()
+	if err := eco.Apply(t2, tm.Tech, lg, mv); err != nil {
+		return math.Inf(-1)
+	}
+	if t2.Validate() != nil {
+		return math.Inf(-1)
+	}
+	a2 := tm.Analyze(t2)
+	return v0 - sta.SumVariation(a2, alphas, pairs)
+}
+
+// moveDirty lists the nodes whose electrical context a move changes, for
+// incremental re-timing.
+func moveDirty(mv eco.Move) []ctree.NodeID {
+	out := []ctree.NodeID{mv.Buffer}
+	if mv.Child != 0 {
+		out = append(out, mv.Child)
+	}
+	if mv.NewDrv != 0 {
+		out = append(out, mv.NewDrv)
+	}
+	return out
+}

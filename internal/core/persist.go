@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"skewvar/internal/ml"
+)
+
+// stageModelFile is the on-disk form of a trained MLStageModel.
+type stageModelFile struct {
+	Kind   string          `json:"kind"`
+	Shrink []float64       `json:"shrink"`
+	Bundle json.RawMessage `json:"bundle"`
+}
+
+// SaveStageModel writes the trained per-corner predictors (with their
+// correction shrink factors) as JSON.
+func SaveStageModel(w io.Writer, m *MLStageModel) error {
+	var buf bytes.Buffer
+	if err := ml.SaveModels(&buf, m.Kind, m.Models); err != nil {
+		return err
+	}
+	f := stageModelFile{Kind: m.Kind, Shrink: m.Shrink, Bundle: buf.Bytes()}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// LoadStageModel reads a model written by SaveStageModel.
+func LoadStageModel(r io.Reader) (*MLStageModel, error) {
+	var f stageModelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding stage model: %w", err)
+	}
+	kind, models, err := ml.LoadModels(bytes.NewReader(f.Bundle))
+	if err != nil {
+		return nil, err
+	}
+	if kind != f.Kind {
+		return nil, fmt.Errorf("core: bundle kind %q does not match header %q", kind, f.Kind)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("core: model file has no per-corner models")
+	}
+	return &MLStageModel{Kind: f.Kind, Models: models, Shrink: f.Shrink}, nil
+}

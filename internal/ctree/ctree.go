@@ -1,0 +1,449 @@
+// Package ctree models routed clock trees: the node/topology structure the
+// whole framework operates on, plus arc segmentation (the "tree segment
+// without branching" unit s_j of the paper's LP formulation) and the local
+// structural operators (buffer sizing, displacement, driver reassignment).
+//
+// A Buffer node represents one clock *inverter pair* (paper §4.1, footnote
+// 3): the two inverters share a size and are placed together, so the pair is
+// non-inverting and polarity is correct by construction.
+package ctree
+
+import (
+	"fmt"
+	"sort"
+
+	"skewvar/internal/geom"
+)
+
+// NodeID identifies a node within one Tree. IDs are dense indices into the
+// tree's node table and remain stable across edits (removed nodes leave nil
+// slots).
+type NodeID int32
+
+// NoNode is the nil node reference.
+const NoNode NodeID = -1
+
+// Kind discriminates tree node roles.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindSource Kind = iota // clock root driver
+	KindBuffer             // inserted inverter pair
+	KindSink               // flip-flop clock pin
+	KindTap                // Steiner/branch point with no cell
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindBuffer:
+		return "buffer"
+	case KindSink:
+		return "sink"
+	case KindTap:
+		return "tap"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one vertex of the clock tree.
+type Node struct {
+	ID       NodeID
+	Kind     Kind
+	Loc      geom.Point
+	CellName string // inverter-pair cell for Source/Buffer; "" otherwise
+	Parent   NodeID // NoNode for the source
+	Children []NodeID
+	Detour   float64 // extra routed wirelength (µm) from parent beyond the estimated route, e.g. U-shape snaking
+	Name     string  // optional instance name (sinks)
+}
+
+// Tree is a routed clock tree.
+type Tree struct {
+	Nodes  []*Node // indexed by NodeID; removed nodes are nil
+	Source NodeID
+}
+
+// NewTree creates a tree with only a source node at the given location,
+// driven by the named cell.
+func NewTree(loc geom.Point, sourceCell string) *Tree {
+	t := &Tree{Source: 0}
+	t.Nodes = append(t.Nodes, &Node{
+		ID:       0,
+		Kind:     KindSource,
+		Loc:      loc,
+		CellName: sourceCell,
+		Parent:   NoNode,
+	})
+	return t
+}
+
+// Node returns the node with the given id, or nil if removed/out of range.
+func (t *Tree) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(t.Nodes) {
+		return nil
+	}
+	return t.Nodes[id]
+}
+
+// AddNode appends a new node under parent and returns it. Kind source cannot
+// be added (a tree has exactly one source, created by NewTree).
+func (t *Tree) AddNode(kind Kind, loc geom.Point, cell string, parent NodeID) *Node {
+	if kind == KindSource {
+		panic("ctree: cannot add a second source")
+	}
+	p := t.Node(parent)
+	if p == nil {
+		panic(fmt.Sprintf("ctree: AddNode under missing parent %d", parent))
+	}
+	n := &Node{
+		ID:       NodeID(len(t.Nodes)),
+		Kind:     kind,
+		Loc:      loc,
+		CellName: cell,
+		Parent:   parent,
+	}
+	t.Nodes = append(t.Nodes, n)
+	p.Children = append(p.Children, n.ID)
+	return n
+}
+
+// RemoveNode deletes a degree-≤1 interior node (buffer or tap), splicing its
+// single child (if any) to its parent. Sinks and the source cannot be
+// removed.
+func (t *Tree) RemoveNode(id NodeID) error {
+	n := t.Node(id)
+	if n == nil {
+		return fmt.Errorf("ctree: remove of missing node %d", id)
+	}
+	switch n.Kind {
+	case KindSource, KindSink:
+		return fmt.Errorf("ctree: cannot remove %s node %d", n.Kind, id)
+	}
+	if len(n.Children) > 1 {
+		return fmt.Errorf("ctree: node %d has %d children; only chain nodes are removable", id, len(n.Children))
+	}
+	p := t.Node(n.Parent)
+	if p == nil {
+		return fmt.Errorf("ctree: node %d has no parent", id)
+	}
+	// Unlink from parent.
+	for i, c := range p.Children {
+		if c == id {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	if len(n.Children) == 1 {
+		child := t.Node(n.Children[0])
+		child.Parent = p.ID
+		child.Detour += n.Detour // preserve inserted snaking along the chain
+		p.Children = append(p.Children, child.ID)
+	}
+	t.Nodes[id] = nil
+	return nil
+}
+
+// ReassignParent detaches node id from its current parent and attaches it
+// under newParent (the Type-III "tree surgery" move). It rejects moves that
+// would create a cycle or orphan the tree.
+func (t *Tree) ReassignParent(id, newParent NodeID) error {
+	n := t.Node(id)
+	np := t.Node(newParent)
+	if n == nil || np == nil {
+		return fmt.Errorf("ctree: reassign with missing node (%d → %d)", id, newParent)
+	}
+	if n.Kind == KindSource {
+		return fmt.Errorf("ctree: cannot reassign the source")
+	}
+	if id == newParent {
+		return fmt.Errorf("ctree: cannot parent node %d to itself", id)
+	}
+	// Reject if newParent is in the subtree of id (cycle).
+	for cur := newParent; cur != NoNode; cur = t.Node(cur).Parent {
+		if cur == id {
+			return fmt.Errorf("ctree: reassigning %d under its own subtree node %d", id, newParent)
+		}
+	}
+	old := t.Node(n.Parent)
+	if old != nil {
+		for i, c := range old.Children {
+			if c == id {
+				old.Children = append(old.Children[:i], old.Children[i+1:]...)
+				break
+			}
+		}
+	}
+	n.Parent = newParent
+	n.Detour = 0 // the new connection is routed fresh
+	np.Children = append(np.Children, id)
+	return nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{Source: t.Source, Nodes: make([]*Node, len(t.Nodes))}
+	for i, n := range t.Nodes {
+		if n == nil {
+			continue
+		}
+		cp := *n
+		cp.Children = append([]NodeID(nil), n.Children...)
+		c.Nodes[i] = &cp
+	}
+	return c
+}
+
+// Sinks returns all sink node IDs in ascending ID order.
+func (t *Tree) Sinks() []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes {
+		if n != nil && n.Kind == KindSink {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Buffers returns all buffer node IDs in ascending ID order.
+func (t *Tree) Buffers() []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes {
+		if n != nil && n.Kind == KindBuffer {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the count of live nodes.
+func (t *Tree) NumNodes() int {
+	c := 0
+	for _, n := range t.Nodes {
+		if n != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Topo returns the live node IDs in preorder (parents before children).
+func (t *Tree) Topo() []NodeID {
+	out := make([]NodeID, 0, len(t.Nodes))
+	stack := []NodeID{t.Source}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, id)
+		n := t.Node(id)
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			stack = append(stack, n.Children[i])
+		}
+	}
+	return out
+}
+
+// PathToRoot returns node ids from the given node up to and including the
+// source.
+func (t *Tree) PathToRoot(id NodeID) []NodeID {
+	var out []NodeID
+	for cur := id; cur != NoNode; {
+		n := t.Node(cur)
+		if n == nil {
+			break
+		}
+		out = append(out, cur)
+		cur = n.Parent
+	}
+	return out
+}
+
+// Level returns the number of buffer stages (inverter pairs, including the
+// source driver) on the path from the source to the node's parent — the
+// "level" used to find same-level candidate drivers for Type-III moves.
+func (t *Tree) Level(id NodeID) int {
+	lvl := 0
+	n := t.Node(id)
+	if n == nil {
+		return 0
+	}
+	for cur := n.Parent; cur != NoNode; {
+		p := t.Node(cur)
+		if p == nil {
+			break
+		}
+		if p.Kind == KindBuffer || p.Kind == KindSource {
+			lvl++
+		}
+		cur = p.Parent
+	}
+	return lvl
+}
+
+// Driver returns the nearest ancestor (inclusive of parent) that actively
+// drives the node: a buffer or the source. Tap nodes are electrically
+// transparent.
+func (t *Tree) Driver(id NodeID) NodeID {
+	n := t.Node(id)
+	if n == nil {
+		return NoNode
+	}
+	for cur := n.Parent; cur != NoNode; {
+		p := t.Node(cur)
+		if p == nil {
+			return NoNode
+		}
+		if p.Kind == KindBuffer || p.Kind == KindSource {
+			return cur
+		}
+		cur = p.Parent
+	}
+	return NoNode
+}
+
+// FanoutPins returns the transitive non-driving frontier below a driving
+// node: every buffer input pin or sink pin reached from id without passing
+// through another buffer. This is the electrical net driven by node id.
+func (t *Tree) FanoutPins(id NodeID) []NodeID {
+	var out []NodeID
+	n := t.Node(id)
+	if n == nil {
+		return nil
+	}
+	stack := append([]NodeID(nil), n.Children...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := t.Node(cur)
+		if c == nil {
+			continue
+		}
+		switch c.Kind {
+		case KindBuffer, KindSink:
+			out = append(out, cur)
+		case KindTap:
+			stack = append(stack, c.Children...)
+		}
+	}
+	return out
+}
+
+// SubtreeSinks returns every sink at or below the given node.
+func (t *Tree) SubtreeSinks(id NodeID) []NodeID {
+	var out []NodeID
+	stack := []NodeID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.Node(cur)
+		if n == nil {
+			continue
+		}
+		if n.Kind == KindSink {
+			out = append(out, cur)
+		}
+		stack = append(stack, n.Children...)
+	}
+	return out
+}
+
+// Validate checks structural invariants: one source at the recorded id,
+// parent/child cross-consistency, acyclicity, sinks as leaves, every live
+// node reachable from the source, and buffer/source nodes carrying a cell.
+func (t *Tree) Validate() error {
+	src := t.Node(t.Source)
+	if src == nil || src.Kind != KindSource {
+		return fmt.Errorf("ctree: bad source node %d", t.Source)
+	}
+	if src.Parent != NoNode {
+		return fmt.Errorf("ctree: source has a parent")
+	}
+	seen := make(map[NodeID]bool)
+	order := t.Topo()
+	for _, id := range order {
+		if seen[id] {
+			return fmt.Errorf("ctree: node %d visited twice (cycle or duplicate child link)", id)
+		}
+		seen[id] = true
+		n := t.Node(id)
+		if n == nil {
+			return fmt.Errorf("ctree: child link to removed node %d", id)
+		}
+		if n.ID != id {
+			return fmt.Errorf("ctree: node %d has mismatched ID %d", id, n.ID)
+		}
+		if n.Kind == KindSink && len(n.Children) > 0 {
+			return fmt.Errorf("ctree: sink %d has children", id)
+		}
+		if (n.Kind == KindBuffer || n.Kind == KindSource) && n.CellName == "" {
+			return fmt.Errorf("ctree: driving node %d has no cell", id)
+		}
+		if n.Detour < 0 {
+			return fmt.Errorf("ctree: node %d has negative detour", id)
+		}
+		for _, c := range n.Children {
+			ch := t.Node(c)
+			if ch == nil {
+				return fmt.Errorf("ctree: node %d links to removed child %d", id, c)
+			}
+			if ch.Parent != id {
+				return fmt.Errorf("ctree: child %d of %d has parent %d", c, id, ch.Parent)
+			}
+		}
+		if n.Kind != KindSource {
+			if n.Parent == NoNode || t.Node(n.Parent) == nil {
+				return fmt.Errorf("ctree: node %d has missing parent", id)
+			}
+		}
+	}
+	for _, n := range t.Nodes {
+		if n != nil && !seen[n.ID] {
+			return fmt.Errorf("ctree: node %d unreachable from source", n.ID)
+		}
+	}
+	return nil
+}
+
+// SinkPair is a sequentially adjacent (launch, capture) flip-flop pair with
+// a valid datapath between the two sinks. Crit ranks pairs by timing
+// criticality (higher = more critical), standing in for the paper's
+// setup/hold slack ranking used to pick the top-N pairs.
+type SinkPair struct {
+	A, B NodeID
+	Crit float64
+}
+
+// Design is a testcase: the clock tree plus the context needed by the
+// optimizer and the report harness.
+type Design struct {
+	Name        string
+	Tree        *Tree
+	Pairs       []SinkPair
+	Die         geom.Rect
+	NumCells    int     // total placed instances incl. datapath logic (Table 4)
+	Util        float64 // pre-placement utilization (Table 4)
+	CornerNames []string
+}
+
+// TopPairs returns the n most critical sink pairs (all pairs if n ≤ 0 or
+// n ≥ len). The underlying slice is not modified.
+func (d *Design) TopPairs(n int) []SinkPair {
+	ps := append([]SinkPair(nil), d.Pairs...)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Crit > ps[j].Crit })
+	if n <= 0 || n >= len(ps) {
+		return ps
+	}
+	return ps[:n]
+}
+
+// Clone deep-copies the design (tree and pair list).
+func (d *Design) Clone() *Design {
+	c := *d
+	c.Tree = d.Tree.Clone()
+	c.Pairs = append([]SinkPair(nil), d.Pairs...)
+	c.CornerNames = append([]string(nil), d.CornerNames...)
+	return &c
+}

@@ -1,0 +1,269 @@
+package edaio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+)
+
+// DEFComponent is one placed instance parsed from a DEF COMPONENTS section.
+type DEFComponent struct {
+	Name string
+	Cell string
+	Loc  geom.Point // µm
+}
+
+// DEFNet is one net parsed from a DEF NETS section: the driver pin first,
+// then the loads.
+type DEFNet struct {
+	Name string
+	Pins []DEFPin
+}
+
+// DEFPin is an (instance, pin) connection.
+type DEFPin struct {
+	Inst string
+	Pin  string
+}
+
+// DEFDesign is the parsed content of a DEF-flavoured file (the subset
+// WriteDEF emits: DESIGN, UNITS, DIEAREA, COMPONENTS, NETS).
+type DEFDesign struct {
+	Name       string
+	DBUPerUM   float64
+	Die        geom.Rect
+	Components []DEFComponent
+	Nets       []DEFNet
+}
+
+// ComponentByName returns the named component, or nil.
+func (d *DEFDesign) ComponentByName(name string) *DEFComponent {
+	for i := range d.Components {
+		if d.Components[i].Name == name {
+			return &d.Components[i]
+		}
+	}
+	return nil
+}
+
+// ReadDEF parses the DEF subset written by WriteDEF. It is tolerant of
+// arbitrary whitespace but expects the statement structure WriteDEF
+// produces (one statement per line, `;`-terminated).
+func ReadDEF(r io.Reader) (*DEFDesign, error) {
+	d := &DEFDesign{DBUPerUM: 1000}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	section := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Fields(text)
+		switch {
+		case f[0] == "VERSION":
+			// ignored
+		case f[0] == "DESIGN" && len(f) >= 2 && section == "":
+			d.Name = f[1]
+		case f[0] == "UNITS":
+			if len(f) >= 4 {
+				v, err := strconv.ParseFloat(f[3], 64)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("edaio: line %d: bad UNITS", line)
+				}
+				d.DBUPerUM = v
+			}
+		case f[0] == "DIEAREA":
+			lo, hi, err := parseDieArea(f, d.DBUPerUM)
+			if err != nil {
+				return nil, fmt.Errorf("edaio: line %d: %v", line, err)
+			}
+			d.Die = geom.NewRect(lo, hi)
+		case f[0] == "COMPONENTS":
+			section = "components"
+		case f[0] == "NETS":
+			section = "nets"
+		case f[0] == "END":
+			section = ""
+		case f[0] == "-" && section == "components":
+			c, err := parseComponent(f, d.DBUPerUM)
+			if err != nil {
+				return nil, fmt.Errorf("edaio: line %d: %v", line, err)
+			}
+			d.Components = append(d.Components, c)
+		case f[0] == "-" && section == "nets":
+			n, err := parseNet(f)
+			if err != nil {
+				return nil, fmt.Errorf("edaio: line %d: %v", line, err)
+			}
+			d.Nets = append(d.Nets, n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edaio: reading DEF: %w", err)
+	}
+	if d.Name == "" {
+		return nil, fmt.Errorf("edaio: DEF has no DESIGN statement")
+	}
+	return d, nil
+}
+
+// parseDieArea handles "DIEAREA ( x y ) ( x y ) ;".
+func parseDieArea(f []string, dbu float64) (lo, hi geom.Point, err error) {
+	var nums []float64
+	for _, tok := range f[1:] {
+		if tok == "(" || tok == ")" || tok == ";" {
+			continue
+		}
+		v, e := strconv.ParseFloat(tok, 64)
+		if e != nil {
+			return lo, hi, fmt.Errorf("bad DIEAREA token %q", tok)
+		}
+		nums = append(nums, v)
+	}
+	if len(nums) != 4 {
+		return lo, hi, fmt.Errorf("DIEAREA needs 4 coordinates, got %d", len(nums))
+	}
+	return geom.Pt(nums[0]/dbu, nums[1]/dbu), geom.Pt(nums[2]/dbu, nums[3]/dbu), nil
+}
+
+// parseComponent handles "- name cell + PLACED ( x y ) N ;".
+func parseComponent(f []string, dbu float64) (DEFComponent, error) {
+	var c DEFComponent
+	if len(f) < 3 {
+		return c, fmt.Errorf("short component statement")
+	}
+	c.Name, c.Cell = f[1], f[2]
+	var nums []float64
+	for _, tok := range f[3:] {
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			nums = append(nums, v)
+		}
+	}
+	if len(nums) < 2 {
+		return c, fmt.Errorf("component %s has no placement", c.Name)
+	}
+	c.Loc = geom.Pt(nums[0]/dbu, nums[1]/dbu)
+	return c, nil
+}
+
+// parseNet handles "- name ( inst pin ) ( inst pin ) … + USE CLOCK ;".
+func parseNet(f []string) (DEFNet, error) {
+	var n DEFNet
+	if len(f) < 2 {
+		return n, fmt.Errorf("short net statement")
+	}
+	n.Name = f[1]
+	i := 2
+	for i < len(f) {
+		if f[i] == "+" || f[i] == ";" {
+			break
+		}
+		if f[i] == "(" {
+			if i+3 >= len(f) || f[i+3] != ")" {
+				return n, fmt.Errorf("net %s: malformed pin group", n.Name)
+			}
+			n.Pins = append(n.Pins, DEFPin{Inst: f[i+1], Pin: f[i+2]})
+			i += 4
+			continue
+		}
+		i++
+	}
+	if len(n.Pins) == 0 {
+		return n, fmt.Errorf("net %s has no pins", n.Name)
+	}
+	return n, nil
+}
+
+// DesignFromDEF reconstructs a clock-tree design from a parsed DEF: net
+// driver/load relations rebuild the tree topology (Steiner taps are not in
+// DEF — they are re-derived by timing-driven consumers), component
+// placements restore locations, and cell names are kept for buffers. The
+// clock source is the driver that no net loads.
+func DesignFromDEF(d *DEFDesign, sinkCellPrefix string) (*ctree.Design, error) {
+	if len(d.Components) == 0 {
+		return nil, fmt.Errorf("edaio: DEF has no components")
+	}
+	// Identify drivers and loads.
+	driverOf := map[string]string{} // load inst -> driver inst
+	isDriver := map[string]bool{}
+	isLoad := map[string]bool{}
+	for _, n := range d.Nets {
+		if len(n.Pins) < 2 {
+			return nil, fmt.Errorf("edaio: net %s has no loads", n.Name)
+		}
+		drv := n.Pins[0].Inst
+		isDriver[drv] = true
+		for _, p := range n.Pins[1:] {
+			if prev, dup := driverOf[p.Inst]; dup && prev != drv {
+				return nil, fmt.Errorf("edaio: instance %s driven by both %s and %s", p.Inst, prev, drv)
+			}
+			driverOf[p.Inst] = drv
+			isLoad[p.Inst] = true
+		}
+	}
+	// Source: a driver that is not a load.
+	var sourceName string
+	for inst := range isDriver {
+		if !isLoad[inst] {
+			if sourceName != "" {
+				return nil, fmt.Errorf("edaio: multiple root drivers (%s, %s)", sourceName, inst)
+			}
+			sourceName = inst
+		}
+	}
+	if sourceName == "" {
+		return nil, fmt.Errorf("edaio: no root driver found (cyclic nets?)")
+	}
+	srcComp := d.ComponentByName(sourceName)
+	if srcComp == nil {
+		return nil, fmt.Errorf("edaio: root driver %s has no component", sourceName)
+	}
+	tree := ctree.NewTree(srcComp.Loc, srcComp.Cell)
+	ids := map[string]ctree.NodeID{sourceName: tree.Source}
+	// Attach loads breadth-first from the source.
+	childrenOf := map[string][]string{}
+	for load, drv := range driverOf {
+		childrenOf[drv] = append(childrenOf[drv], load)
+	}
+	for _, kids := range childrenOf {
+		sort.Strings(kids)
+	}
+	queue := []string{sourceName}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, child := range childrenOf[cur] {
+			comp := d.ComponentByName(child)
+			if comp == nil {
+				return nil, fmt.Errorf("edaio: net load %s has no component", child)
+			}
+			kind := ctree.KindBuffer
+			cell := comp.Cell
+			if !isDriver[child] || strings.HasPrefix(comp.Cell, sinkCellPrefix) {
+				kind = ctree.KindSink
+				cell = ""
+			}
+			n := tree.AddNode(kind, comp.Loc, cell, ids[cur])
+			n.Name = child
+			ids[child] = n.ID
+			queue = append(queue, child)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("edaio: DEF tree invalid: %w", err)
+	}
+	return &ctree.Design{
+		Name: d.Name,
+		Tree: tree,
+		Die:  d.Die,
+	}, nil
+}

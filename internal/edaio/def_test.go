@@ -1,0 +1,205 @@
+package edaio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skewvar/internal/ctree"
+)
+
+func TestDEFRoundTrip(t *testing.T) {
+	d, _ := buildDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadDEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != d.Name {
+		t.Errorf("name = %q", parsed.Name)
+	}
+	if parsed.DBUPerUM != 1000 {
+		t.Errorf("dbu = %v", parsed.DBUPerUM)
+	}
+	// Die area round-trips within DBU quantization.
+	if parsed.Die.W() < d.Die.W()-0.01 || parsed.Die.W() > d.Die.W()+0.01 {
+		t.Errorf("die W = %v, want %v", parsed.Die.W(), d.Die.W())
+	}
+	// Every non-tap node appears as a component with its location.
+	wantComponents := 0
+	for _, n := range d.Tree.Nodes {
+		if n != nil && n.Kind != ctree.KindTap {
+			wantComponents++
+		}
+	}
+	if len(parsed.Components) != wantComponents {
+		t.Fatalf("components = %d, want %d", len(parsed.Components), wantComponents)
+	}
+	// Spot-check a sink location (DBU rounding allows 1/1000 µm error).
+	s := d.Tree.Sinks()[0]
+	sn := d.Tree.Node(s)
+	c := parsed.ComponentByName(instName(sn))
+	if c == nil {
+		t.Fatalf("sink %s missing from DEF", instName(sn))
+	}
+	if c.Loc.Manhattan(sn.Loc) > 0.01 {
+		t.Errorf("sink location %v vs %v", c.Loc, sn.Loc)
+	}
+	// Nets: one per driving node with fanout; driver pin first (Z).
+	if len(parsed.Nets) == 0 {
+		t.Fatal("no nets parsed")
+	}
+	for _, n := range parsed.Nets {
+		if len(n.Pins) < 2 {
+			t.Errorf("net %s has %d pins", n.Name, len(n.Pins))
+		}
+		if n.Pins[0].Pin != "Z" {
+			t.Errorf("net %s driver pin = %s", n.Name, n.Pins[0].Pin)
+		}
+	}
+	if parsed.ComponentByName("ghost") != nil {
+		t.Error("ghost component found")
+	}
+}
+
+func TestReadDEFErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"VERSION 5.8 ;\n", // no DESIGN
+		"DESIGN x ;\nUNITS DISTANCE MICRONS zero ;\n",
+		"DESIGN x ;\nDIEAREA ( 1 2 ) ( 3 ) ;\n",
+		"DESIGN x ;\nDIEAREA ( a b ) ( c d ) ;\n",
+		"DESIGN x ;\nCOMPONENTS 1 ;\n- only ;\nEND COMPONENTS\n",
+		"DESIGN x ;\nCOMPONENTS 1 ;\n- inst CELL + PLACED N ;\nEND COMPONENTS\n",
+		"DESIGN x ;\nNETS 1 ;\n- n1 ( a Z ;\nEND NETS\n",
+		"DESIGN x ;\nNETS 1 ;\n- n1 + USE CLOCK ;\nEND NETS\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadDEF(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadDEFMinimal(t *testing.T) {
+	src := `VERSION 5.8 ;
+DESIGN tiny ;
+UNITS DISTANCE MICRONS 100 ;
+DIEAREA ( 0 0 ) ( 1000 2000 ) ;
+COMPONENTS 2 ;
+- u1 INVX1 + PLACED ( 500 500 ) N ;
+- ff1 DFFQX1 + PLACED ( 900 1900 ) N ;
+END COMPONENTS
+NETS 1 ;
+- net_1 ( u1 Z ) ( ff1 CK ) + USE CLOCK ;
+END NETS
+END DESIGN
+`
+	d, err := ReadDEF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "tiny" || d.DBUPerUM != 100 {
+		t.Errorf("header: %+v", d)
+	}
+	if d.Die.Hi.X != 10 || d.Die.Hi.Y != 20 {
+		t.Errorf("die: %+v", d.Die)
+	}
+	c := d.ComponentByName("ff1")
+	if c == nil || c.Loc.X != 9 || c.Loc.Y != 19 {
+		t.Errorf("ff1: %+v", c)
+	}
+	if len(d.Nets) != 1 || d.Nets[0].Pins[1].Inst != "ff1" {
+		t.Errorf("nets: %+v", d.Nets)
+	}
+}
+
+func TestDesignFromDEFRoundTrip(t *testing.T) {
+	d, tm := buildDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadDEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DesignFromDEF(parsed, "DFFQX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name {
+		t.Errorf("name = %q", d2.Name)
+	}
+	// Same sink and buffer counts (taps are not in DEF, so the rebuilt tree
+	// has star nets — electrically different routing, same logic).
+	if got, want := len(d2.Tree.Sinks()), len(d.Tree.Sinks()); got != want {
+		t.Fatalf("sinks = %d, want %d", got, want)
+	}
+	if got, want := len(d2.Tree.Buffers()), len(d.Tree.Buffers()); got != want {
+		t.Fatalf("buffers = %d, want %d", got, want)
+	}
+	// Rebuilt tree is timeable.
+	a := tm.Analyze(d2.Tree)
+	for _, s := range d2.Tree.Sinks() {
+		if a.Latency(0, s) <= 0 {
+			t.Fatal("rebuilt tree not timeable")
+		}
+	}
+	// Sink locations preserved to DBU precision.
+	for _, s := range d.Tree.Sinks() {
+		n := d.Tree.Node(s)
+		var found bool
+		for _, s2 := range d2.Tree.Sinks() {
+			if d2.Tree.Node(s2).Name == n.Name {
+				if d2.Tree.Node(s2).Loc.Manhattan(n.Loc) > 0.01 {
+					t.Fatalf("sink %s moved", n.Name)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sink %s lost", n.Name)
+		}
+	}
+}
+
+func TestDesignFromDEFErrors(t *testing.T) {
+	empty := &DEFDesign{Name: "x"}
+	if _, err := DesignFromDEF(empty, "DFF"); err == nil {
+		t.Error("empty DEF accepted")
+	}
+	// Two roots.
+	twoRoots := &DEFDesign{Name: "x", Components: []DEFComponent{
+		{Name: "a", Cell: "INV"}, {Name: "b", Cell: "INV"},
+		{Name: "f1", Cell: "DFF"}, {Name: "f2", Cell: "DFF"},
+	}, Nets: []DEFNet{
+		{Name: "n1", Pins: []DEFPin{{Inst: "a", Pin: "Z"}, {Inst: "f1", Pin: "CK"}}},
+		{Name: "n2", Pins: []DEFPin{{Inst: "b", Pin: "Z"}, {Inst: "f2", Pin: "CK"}}},
+	}}
+	if _, err := DesignFromDEF(twoRoots, "DFF"); err == nil {
+		t.Error("two roots accepted")
+	}
+	// Double-driven load.
+	dd := &DEFDesign{Name: "x", Components: []DEFComponent{
+		{Name: "a", Cell: "INV"}, {Name: "b", Cell: "INV"}, {Name: "f1", Cell: "DFF"},
+	}, Nets: []DEFNet{
+		{Name: "n1", Pins: []DEFPin{{Inst: "a", Pin: "Z"}, {Inst: "b", Pin: "A"}, {Inst: "f1", Pin: "CK"}}},
+		{Name: "n2", Pins: []DEFPin{{Inst: "b", Pin: "Z"}, {Inst: "f1", Pin: "CK"}}},
+	}}
+	if _, err := DesignFromDEF(dd, "DFF"); err == nil {
+		t.Error("double-driven load accepted")
+	}
+	// Missing component for a load.
+	ghost := &DEFDesign{Name: "x", Components: []DEFComponent{
+		{Name: "a", Cell: "INV"},
+	}, Nets: []DEFNet{
+		{Name: "n1", Pins: []DEFPin{{Inst: "a", Pin: "Z"}, {Inst: "ghost", Pin: "CK"}}},
+	}}
+	if _, err := DesignFromDEF(ghost, "DFF"); err == nil {
+		t.Error("missing component accepted")
+	}
+}

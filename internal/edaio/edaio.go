@@ -1,0 +1,321 @@
+// Package edaio serializes designs and clock trees. The paper emphasizes a
+// "robust interface to leading commercial P&R and STA tools"; this package
+// provides that boundary for the reproduction: a lossless JSON design format
+// used by the command-line tools, plus DEF-flavoured placement/netlist and
+// SPEF-flavoured parasitic exports that mirror what would flow to a
+// commercial router or signoff timer.
+package edaio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+)
+
+// jsonNode is the serialized form of one tree node.
+type jsonNode struct {
+	ID     int32   `json:"id"`
+	Kind   string  `json:"kind"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Cell   string  `json:"cell,omitempty"`
+	Parent int32   `json:"parent"`
+	Detour float64 `json:"detour,omitempty"`
+	Name   string  `json:"name,omitempty"`
+}
+
+type jsonPair struct {
+	A    int32   `json:"a"`
+	B    int32   `json:"b"`
+	Crit float64 `json:"crit"`
+}
+
+type jsonDesign struct {
+	Name     string     `json:"name"`
+	Source   int32      `json:"source"`
+	Nodes    []jsonNode `json:"nodes"`
+	Pairs    []jsonPair `json:"pairs"`
+	DieLoX   float64    `json:"die_lo_x"`
+	DieLoY   float64    `json:"die_lo_y"`
+	DieHiX   float64    `json:"die_hi_x"`
+	DieHiY   float64    `json:"die_hi_y"`
+	NumCells int        `json:"num_cells"`
+	Util     float64    `json:"util"`
+	Corners  []string   `json:"corners"`
+}
+
+func kindString(k ctree.Kind) string { return k.String() }
+
+func kindFromString(s string) (ctree.Kind, error) {
+	switch s {
+	case "source":
+		return ctree.KindSource, nil
+	case "buffer":
+		return ctree.KindBuffer, nil
+	case "sink":
+		return ctree.KindSink, nil
+	case "tap":
+		return ctree.KindTap, nil
+	}
+	return 0, fmt.Errorf("edaio: unknown node kind %q", s)
+}
+
+// WriteDesign serializes a design as JSON.
+func WriteDesign(w io.Writer, d *ctree.Design) error {
+	jd := jsonDesign{
+		Name:     d.Name,
+		Source:   int32(d.Tree.Source),
+		DieLoX:   d.Die.Lo.X,
+		DieLoY:   d.Die.Lo.Y,
+		DieHiX:   d.Die.Hi.X,
+		DieHiY:   d.Die.Hi.Y,
+		NumCells: d.NumCells,
+		Util:     d.Util,
+		Corners:  d.CornerNames,
+	}
+	for _, n := range d.Tree.Nodes {
+		if n == nil {
+			continue
+		}
+		jd.Nodes = append(jd.Nodes, jsonNode{
+			ID: int32(n.ID), Kind: kindString(n.Kind),
+			X: n.Loc.X, Y: n.Loc.Y,
+			Cell: n.CellName, Parent: int32(n.Parent),
+			Detour: n.Detour, Name: n.Name,
+		})
+	}
+	for _, p := range d.Pairs {
+		jd.Pairs = append(jd.Pairs, jsonPair{A: int32(p.A), B: int32(p.B), Crit: p.Crit})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&jd)
+}
+
+// ReadDesign parses a design written by WriteDesign and validates the tree.
+func ReadDesign(r io.Reader) (*ctree.Design, error) {
+	var jd jsonDesign
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("edaio: decoding design: %w", err)
+	}
+	if len(jd.Nodes) == 0 {
+		return nil, fmt.Errorf("edaio: design has no nodes")
+	}
+	maxID := int32(0)
+	for _, n := range jd.Nodes {
+		if n.ID < 0 {
+			return nil, fmt.Errorf("edaio: negative node id %d", n.ID)
+		}
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	tree := &ctree.Tree{
+		Nodes:  make([]*ctree.Node, maxID+1),
+		Source: ctree.NodeID(jd.Source),
+	}
+	for _, n := range jd.Nodes {
+		kind, err := kindFromString(n.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if tree.Nodes[n.ID] != nil {
+			return nil, fmt.Errorf("edaio: duplicate node id %d", n.ID)
+		}
+		tree.Nodes[n.ID] = &ctree.Node{
+			ID:       ctree.NodeID(n.ID),
+			Kind:     kind,
+			Loc:      geom.Pt(n.X, n.Y),
+			CellName: n.Cell,
+			Parent:   ctree.NodeID(n.Parent),
+			Detour:   n.Detour,
+			Name:     n.Name,
+		}
+	}
+	// Rebuild child lists in deterministic id order.
+	for _, n := range tree.Nodes {
+		if n == nil || n.Parent == ctree.NoNode {
+			continue
+		}
+		p := tree.Node(n.Parent)
+		if p == nil {
+			return nil, fmt.Errorf("edaio: node %d references missing parent %d", n.ID, n.Parent)
+		}
+		p.Children = append(p.Children, n.ID)
+	}
+	for _, n := range tree.Nodes {
+		if n != nil {
+			sort.Slice(n.Children, func(i, j int) bool { return n.Children[i] < n.Children[j] })
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("edaio: invalid tree: %w", err)
+	}
+	d := &ctree.Design{
+		Name:        jd.Name,
+		Tree:        tree,
+		Die:         geom.NewRect(geom.Pt(jd.DieLoX, jd.DieLoY), geom.Pt(jd.DieHiX, jd.DieHiY)),
+		NumCells:    jd.NumCells,
+		Util:        jd.Util,
+		CornerNames: jd.Corners,
+	}
+	for _, p := range jd.Pairs {
+		if tree.Node(ctree.NodeID(p.A)) == nil || tree.Node(ctree.NodeID(p.B)) == nil {
+			return nil, fmt.Errorf("edaio: pair references missing sink (%d,%d)", p.A, p.B)
+		}
+		d.Pairs = append(d.Pairs, ctree.SinkPair{A: ctree.NodeID(p.A), B: ctree.NodeID(p.B), Crit: p.Crit})
+	}
+	return d, nil
+}
+
+// instName returns the canonical instance name of a node.
+func instName(n *ctree.Node) string {
+	if n.Name != "" {
+		return n.Name
+	}
+	switch n.Kind {
+	case ctree.KindSource:
+		return "clk_src"
+	case ctree.KindBuffer:
+		return fmt.Sprintf("ckbuf_%d", n.ID)
+	case ctree.KindSink:
+		return fmt.Sprintf("ff_%d", n.ID)
+	default:
+		return fmt.Sprintf("tap_%d", n.ID)
+	}
+}
+
+// WriteDEF emits a DEF-flavoured view of the clock tree: DIEAREA,
+// COMPONENTS (buffers, sinks) with placed locations in DEF database units
+// (1000/µm), and NETS connecting each driver to its fanout pins.
+func WriteDEF(w io.Writer, d *ctree.Design) error {
+	const dbu = 1000.0
+	var b strings.Builder
+	fmt.Fprintf(&b, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", d.Name, int(dbu))
+	fmt.Fprintf(&b, "DIEAREA ( %d %d ) ( %d %d ) ;\n",
+		int(d.Die.Lo.X*dbu), int(d.Die.Lo.Y*dbu), int(d.Die.Hi.X*dbu), int(d.Die.Hi.Y*dbu))
+	var comps []*ctree.Node
+	for _, n := range d.Tree.Nodes {
+		if n == nil || n.Kind == ctree.KindTap {
+			continue
+		}
+		comps = append(comps, n)
+	}
+	fmt.Fprintf(&b, "COMPONENTS %d ;\n", len(comps))
+	for _, n := range comps {
+		cell := n.CellName
+		if cell == "" {
+			cell = "DFFQX1"
+		}
+		fmt.Fprintf(&b, "- %s %s + PLACED ( %d %d ) N ;\n",
+			instName(n), cell, int(n.Loc.X*dbu), int(n.Loc.Y*dbu))
+	}
+	b.WriteString("END COMPONENTS\n")
+	// One net per driving node.
+	var drivers []*ctree.Node
+	for _, id := range d.Tree.Topo() {
+		n := d.Tree.Node(id)
+		if n.Kind == ctree.KindSource || n.Kind == ctree.KindBuffer {
+			if len(d.Tree.FanoutPins(id)) > 0 {
+				drivers = append(drivers, n)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "NETS %d ;\n", len(drivers))
+	for _, drv := range drivers {
+		fmt.Fprintf(&b, "- net_%d ( %s Z )", drv.ID, instName(drv))
+		for _, p := range d.Tree.FanoutPins(drv.ID) {
+			pn := d.Tree.Node(p)
+			pin := "A"
+			if pn.Kind == ctree.KindSink {
+				pin = "CK"
+			}
+			fmt.Fprintf(&b, " ( %s %s )", instName(pn), pin)
+		}
+		b.WriteString(" + USE CLOCK ;\n")
+	}
+	b.WriteString("END NETS\nEND DESIGN\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSPEF emits a SPEF-flavoured parasitics view of every clock net at
+// the given corner: per net, the total capacitance and a D_NET section with
+// lumped RC per tree edge.
+func WriteSPEF(w io.Writer, d *ctree.Design, t *tech.Tech, corner int) error {
+	if corner < 0 || corner >= t.NumCorners() {
+		return fmt.Errorf("edaio: corner %d out of range", corner)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"%s\"\n*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 KOHM\n*CORNER %s\n\n",
+		d.Name, t.Corners[corner].Name)
+	tm := sta.New(t)
+	for _, id := range d.Tree.Topo() {
+		n := d.Tree.Node(id)
+		if n.Kind != ctree.KindSource && n.Kind != ctree.KindBuffer {
+			continue
+		}
+		pins := d.Tree.FanoutPins(id)
+		if len(pins) == 0 {
+			continue
+		}
+		total := tm.NetLoad(d.Tree, id, corner)
+		fmt.Fprintf(&b, "*D_NET net_%d %.4f\n*CONN\n*I %s:Z O\n", n.ID, total, instName(n))
+		for _, p := range pins {
+			pn := d.Tree.Node(p)
+			pin := "A"
+			if pn.Kind == ctree.KindSink {
+				pin = "CK"
+			}
+			fmt.Fprintf(&b, "*I %s:%s I\n", instName(pn), pin)
+		}
+		// RC section: one lumped segment per tree edge inside the net.
+		b.WriteString("*RES\n")
+		seq := 1
+		var walk func(from ctree.NodeID)
+		walk = func(from ctree.NodeID) {
+			for _, c := range d.Tree.Node(from).Children {
+				cn := d.Tree.Node(c)
+				if cn == nil {
+					continue
+				}
+				length := d.Tree.Node(from).Loc.Manhattan(cn.Loc) + cn.Detour
+				fmt.Fprintf(&b, "%d n%d n%d %.5f\n", seq, from, c, length*t.WireR(corner))
+				seq++
+				if cn.Kind == ctree.KindTap {
+					walk(c)
+				}
+			}
+		}
+		walk(id)
+		b.WriteString("*END\n\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// TimingReport writes a PrimeTime-flavoured latency/skew report for the
+// design at every corner.
+func TimingReport(w io.Writer, d *ctree.Design, tm *sta.Timer) error {
+	a := tm.Analyze(d.Tree)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing report for %s (%d sinks, %d pairs)\n",
+		d.Name, len(d.Tree.Sinks()), len(d.Pairs))
+	for k := 0; k < a.K; k++ {
+		fmt.Fprintf(&b, "\nCorner %s:\n", tm.Tech.Corners[k].Name)
+		fmt.Fprintf(&b, "  max latency   %10.1f ps\n", a.MaxLat[k])
+		fmt.Fprintf(&b, "  local skew    %10.1f ps\n", sta.MaxAbsSkew(a, k, d.Pairs))
+	}
+	al := sta.Alphas(a, d.Pairs)
+	fmt.Fprintf(&b, "\nSum of normalized skew variation: %.1f ps (alphas %v)\n",
+		sta.SumVariation(a, al, d.Pairs), al)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

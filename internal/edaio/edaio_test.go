@@ -1,0 +1,125 @@
+package edaio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+	"skewvar/internal/testgen"
+)
+
+func buildDesign(t *testing.T) (*ctree.Design, *sta.Timer) {
+	t.Helper()
+	d, tm, err := testgen.Build(tech.Default28nm(), testgen.CLS1v1(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tm
+}
+
+func TestDesignJSONRoundTrip(t *testing.T) {
+	d, tm := buildDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDesign(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.NumCells != d.NumCells || d2.Util != d.Util {
+		t.Error("metadata not preserved")
+	}
+	if d2.Tree.NumNodes() != d.Tree.NumNodes() {
+		t.Fatalf("node count %d != %d", d2.Tree.NumNodes(), d.Tree.NumNodes())
+	}
+	if len(d2.Pairs) != len(d.Pairs) {
+		t.Fatalf("pairs %d != %d", len(d2.Pairs), len(d.Pairs))
+	}
+	if !d2.Die.Lo.Eq(d.Die.Lo) || !d2.Die.Hi.Eq(d.Die.Hi) {
+		t.Error("die not preserved")
+	}
+	// Timing must be byte-identical between original and round-tripped.
+	a1 := tm.Analyze(d.Tree)
+	a2 := tm.Analyze(d2.Tree)
+	for _, s := range d.Tree.Sinks() {
+		for k := 0; k < a1.K; k++ {
+			if a1.Latency(k, s) != a2.Latency(k, s) {
+				t.Fatalf("latency differs after round trip at sink %d corner %d", s, k)
+			}
+		}
+	}
+}
+
+func TestReadDesignErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{"name":"x","nodes":[]}`,
+		`{"name":"x","source":0,"nodes":[{"id":-1,"kind":"source","parent":-1}]}`,
+		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"alien","parent":-1}]}`,
+		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":0,"kind":"sink","parent":0}]}`,
+		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":1,"kind":"sink","parent":5}]}`,
+		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","cell":"C","parent":-1}],"pairs":[{"a":7,"b":8}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadDesign(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteDEF(t *testing.T) {
+	d, _ := buildDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VERSION 5.8", "DIEAREA", "COMPONENTS", "END COMPONENTS", "NETS", "USE CLOCK", "END DESIGN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DEF missing %q", want)
+		}
+	}
+	// Every sink appears as a component.
+	if got := strings.Count(out, " CK )"); got != len(d.Tree.Sinks()) {
+		t.Errorf("sink pins in nets = %d, want %d", got, len(d.Tree.Sinks()))
+	}
+}
+
+func TestWriteSPEF(t *testing.T) {
+	d, tm := buildDesign(t)
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, d, tm.Tech, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"*SPEF", "*D_NET", "*CONN", "*RES", "*END"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SPEF missing %q", want)
+		}
+	}
+	if err := WriteSPEF(&buf, d, tm.Tech, 99); err == nil {
+		t.Error("bad corner accepted")
+	}
+}
+
+func TestTimingReport(t *testing.T) {
+	d, tm := buildDesign(t)
+	var buf bytes.Buffer
+	if err := TimingReport(&buf, d, tm); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Timing report", "max latency", "local skew", "normalized skew variation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// All three corners reported.
+	if strings.Count(out, "Corner ") != 3 {
+		t.Errorf("corner sections: %d", strings.Count(out, "Corner "))
+	}
+}

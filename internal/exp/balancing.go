@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/cts"
+	"skewvar/internal/geom"
+	"skewvar/internal/report"
+	"skewvar/internal/sta"
+	"skewvar/internal/testgen"
+)
+
+// BalancingStudy reproduces the paper's §5.1 methodology note: clock trees
+// are synthesized under both the multi-corner single-mode (MCSM, balance at
+// the nominal corner) and multi-corner multi-mode (MCMM, balance across all
+// corners) scenarios, and the solution with the smaller skew variation is
+// selected as the optimization's starting point. The table reports ΣV and
+// per-corner local skew under each scenario for every testcase.
+func BalancingStudy(cfg Config) (*report.Table, error) {
+	cfg.setDefaults()
+	base, _ := Technology()
+	tb := &report.Table{
+		Title:   "CTS balancing study: MCSM vs MCMM (paper §5.1 start-point selection)",
+		Headers: []string{"Testcase", "Scenario", "SumVar(ps)", "Skew@c0", "Skew@c1", "Skew@c2/3", "Selected"},
+	}
+	for _, v := range testgen.Variants(cfg.NumFFs) {
+		// Build once to get the FF placement and pair set (Build itself
+		// synthesizes both and keeps the better; here we want both trees).
+		d, tm, err := testgen.Build(base, v)
+		if err != nil {
+			return nil, err
+		}
+		var results []struct {
+			name string
+			sv   float64
+			skew []float64
+		}
+		for _, mcmm := range []bool{false, true} {
+			name := "MCSM"
+			if mcmm {
+				name = "MCMM"
+			}
+			// Re-synthesize over the same sinks.
+			locs := sinkLocsOf(d)
+			tr, err := cts.Synthesize(tm, d.Die, d.Tree.Node(d.Tree.Source).Loc, locs, cts.Options{MCMM: mcmm})
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s %s: %w", v.Name, name, err)
+			}
+			pairs := remapPairs(d, tr)
+			a := tm.Analyze(tr)
+			al := sta.Alphas(a, pairs)
+			sv := sta.SumVariation(a, al, pairs)
+			skews := make([]float64, a.K)
+			for k := range skews {
+				skews[k] = sta.MaxAbsSkew(a, k, pairs)
+			}
+			results = append(results, struct {
+				name string
+				sv   float64
+				skew []float64
+			}{name, sv, skews})
+		}
+		best := 0
+		if results[1].sv < results[0].sv {
+			best = 1
+		}
+		for i, r := range results {
+			sel := ""
+			if i == best {
+				sel = "← start point"
+			}
+			tb.AddRowf(v.Name, r.name,
+				fmt.Sprintf("%.0f", r.sv),
+				fmt.Sprintf("%.0f", r.skew[0]),
+				fmt.Sprintf("%.0f", r.skew[1]),
+				fmt.Sprintf("%.0f", r.skew[2]),
+				sel)
+		}
+	}
+	return tb, nil
+}
+
+// sinkLocsOf extracts the flip-flop placement from a built design in
+// "ff<i>" index order, so re-synthesis assigns identical names.
+func sinkLocsOf(d *ctree.Design) []geom.Point {
+	byIdx := map[int]geom.Point{}
+	maxIdx := -1
+	for _, s := range d.Tree.Sinks() {
+		n := d.Tree.Node(s)
+		var i int
+		if _, err := fmt.Sscanf(n.Name, "ff%d", &i); err != nil {
+			continue
+		}
+		byIdx[i] = n.Loc
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	out := make([]geom.Point, 0, len(byIdx))
+	for i := 0; i <= maxIdx; i++ {
+		if p, ok := byIdx[i]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// remapPairs translates a design's sink pairs onto a re-synthesized tree by
+// matching sink names.
+func remapPairs(d *ctree.Design, tr *ctree.Tree) []ctree.SinkPair {
+	byName := map[string]ctree.NodeID{}
+	for _, s := range tr.Sinks() {
+		byName[tr.Node(s).Name] = s
+	}
+	var out []ctree.SinkPair
+	for _, p := range d.Pairs {
+		a, okA := byName[d.Tree.Node(p.A).Name]
+		b, okB := byName[d.Tree.Node(p.B).Name]
+		if okA && okB && a != b {
+			out = append(out, ctree.SinkPair{A: a, B: b, Crit: p.Crit})
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"skewvar/internal/fit"
+	"skewvar/internal/report"
+)
+
+// Figure2Result holds the stage-delay ratio study for one corner pair.
+type Figure2Result struct {
+	KNum, KDen int
+	Samples    int
+	RatioMin   float64
+	RatioMax   float64
+	// Envelope coefficients (degree-2 polynomials of delay-per-µm at c0).
+	Upper, Lower fit.Poly
+	CSV          string // long-format scatter + envelope curves
+}
+
+// Figure2 regenerates the paper's Figure 2: the scatter of stage-delay
+// ratios between corner pairs (c1,c0) and (c2,c0) versus stage delay per
+// unit distance at the nominal corner, with fitted min/max polynomial
+// envelopes (the W-window of LP constraint (11)).
+func Figure2() ([]Figure2Result, *report.Table, error) {
+	t, ch := Technology()
+	pairsOfInterest := [][2]int{{1, 0}, {2, 0}}
+	if t.NumCorners() < 3 {
+		return nil, nil, fmt.Errorf("exp: need ≥3 corners for Figure 2")
+	}
+	tb := &report.Table{
+		Title:   "Figure 2: stage delay ratio envelopes vs delay per unit distance at c0",
+		Headers: []string{"Pair", "Samples", "MinRatio", "MaxRatio", "Wlow(mid)", "Whigh(mid)"},
+	}
+	var out []Figure2Result
+	for _, pr := range pairsOfInterest {
+		sc := ch.RatioScatter(pr[0], pr[1])
+		env, err := ch.FitEnvelope(pr[0], pr[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		r := Figure2Result{KNum: pr[0], KDen: pr[1], Samples: len(sc),
+			Upper: env.Upper, Lower: env.Lower}
+		var xs, ys []float64
+		rmin, rmax := sc[0].Ratio, sc[0].Ratio
+		for _, s := range sc {
+			xs = append(xs, s.DelayPerUM)
+			ys = append(ys, s.Ratio)
+			if s.Ratio < rmin {
+				rmin = s.Ratio
+			}
+			if s.Ratio > rmax {
+				rmax = s.Ratio
+			}
+		}
+		r.RatioMin, r.RatioMax = rmin, rmax
+		// Envelope curves sampled across the x range.
+		var ex, eu, el []float64
+		for i := 0; i <= 40; i++ {
+			x := env.XMin + (env.XMax-env.XMin)*float64(i)/40
+			lo, hi := env.Bounds(x)
+			ex = append(ex, x)
+			el = append(el, lo)
+			eu = append(eu, hi)
+		}
+		name := fmt.Sprintf("c%d/c%d", pr[0], pr[1])
+		r.CSV = report.SeriesCSV(
+			report.Series{Name: "scatter_" + name, X: xs, Y: ys},
+			report.Series{Name: "wmax_" + name, X: ex, Y: eu},
+			report.Series{Name: "wmin_" + name, X: ex, Y: el},
+		)
+		mid := (env.XMin + env.XMax) / 2
+		lo, hi := env.Bounds(mid)
+		tb.AddRowf(name, len(sc),
+			fmt.Sprintf("%.3f", rmin), fmt.Sprintf("%.3f", rmax),
+			fmt.Sprintf("%.3f", lo), fmt.Sprintf("%.3f", hi))
+		out = append(out, r)
+	}
+	return out, tb, nil
+}

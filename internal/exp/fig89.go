@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+
+	"skewvar/internal/core"
+	"skewvar/internal/fit"
+	"skewvar/internal/report"
+	"skewvar/internal/sta"
+)
+
+// Figure8Result is the local-iteration trajectory study.
+type Figure8Result struct {
+	Records []core.IterRecord
+	Random  []core.IterRecord // random-move baseline trajectory
+	SumVar0 float64
+	CSV     string
+}
+
+// Figure8 reproduces the paper's Figure 8 on CLS1v1: the ΣV trajectory of
+// the model-guided local iterative optimization, tagged by move type, with
+// a random-move baseline for comparison.
+func Figure8(cfg Config) (*Figure8Result, *report.Table, error) {
+	cfg.setDefaults()
+	model, err := TrainedModel(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	envs, err := BuildTestcases(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := envs[0] // CLS1v1
+	pairs := e.Design.TopPairs(cfg.TopPairs)
+	a0 := e.Timer.Analyze(e.Design.Tree)
+	alphas := sta.Alphas(a0, pairs)
+
+	guided, err := core.LocalOpt(e.Timer, e.Design, alphas, core.LocalConfig{
+		Model: model, MaxIters: cfg.LocalIters, TopPairs: cfg.TopPairs, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	random, err := core.LocalOpt(e.Timer, e.Design, alphas, core.LocalConfig{
+		Model: model, MaxIters: cfg.LocalIters, TopPairs: cfg.TopPairs,
+		Seed: cfg.Seed + 5, Random: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Figure8Result{Records: guided.Records, Random: random.Records, SumVar0: guided.SumVar0}
+	var gx, gy, rx, ry []float64
+	gx = append(gx, 0)
+	gy = append(gy, guided.SumVar0)
+	for i, r := range guided.Records {
+		gx = append(gx, float64(i+1))
+		gy = append(gy, r.SumVar)
+	}
+	rx = append(rx, 0)
+	ry = append(ry, random.SumVar0)
+	for i, r := range random.Records {
+		rx = append(rx, float64(i+1))
+		ry = append(ry, r.SumVar)
+	}
+	res.CSV = report.SeriesCSV(
+		report.Series{Name: "model-guided", X: gx, Y: gy},
+		report.Series{Name: "random-moves", X: rx, Y: ry},
+	)
+	tb := &report.Table{
+		Title:   "Figure 8: ΣV during local iterative optimization (CLS1v1)",
+		Headers: []string{"Iter", "MoveType", "Move", "PredGain(ps)", "ActualGain(ps)", "SumVar(ps)"},
+	}
+	for i, r := range guided.Records {
+		tb.AddRowf(i+1, "type-"+r.MoveType.String(), r.Move,
+			fmt.Sprintf("%.1f", r.Predicted), fmt.Sprintf("%.1f", r.Actual),
+			fmt.Sprintf("%.0f", r.SumVar))
+	}
+	tb.AddRowf("-", "random-baseline", "-", "-", "-",
+		fmt.Sprintf("%.0f (vs guided %.0f)", random.SumVar, guided.SumVar))
+	return res, tb, nil
+}
+
+// Figure9Result is the skew-ratio distribution study.
+type Figure9Result struct {
+	Corner     int    // non-nominal corner index in the design's view
+	CornerName string //
+	OrigHist   string
+	OptHist    string
+	OrigStd    float64
+	OptStd     float64
+	OrigSpread float64 // P95 − P05
+	OptSpread  float64
+}
+
+// Figure9 reproduces the paper's Figure 9 on CLS1v1: distributions of
+// per-pair skew ratios skew(ck)/skew(c0) for the non-nominal corners,
+// before and after the global-local optimization. The optimization should
+// visibly tighten the distributions around αk⁻¹.
+func Figure9(cfg Config, pre *Table5Result) ([]Figure9Result, *report.Table, error) {
+	cfg.setDefaults()
+	var flows *core.FlowResult
+	var e Env
+	if pre != nil {
+		flows = pre.Flows["CLS1v1"]
+		for _, env := range pre.Envs {
+			if env.Variant.Name == "CLS1v1" {
+				e = env
+			}
+		}
+	}
+	if flows == nil {
+		t5, _, err := Table5(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		flows = t5.Flows["CLS1v1"]
+		for _, env := range t5.Envs {
+			if env.Variant.Name == "CLS1v1" {
+				e = env
+			}
+		}
+	}
+	pairs := e.Design.TopPairs(cfg.TopPairs)
+	aOrig := e.Timer.Analyze(flows.Trees["orig"])
+	aOpt := e.Timer.Analyze(flows.Trees["global-local"])
+	tb := &report.Table{
+		Title:   "Figure 9: skew ratio distributions, orig vs global-local (CLS1v1)",
+		Headers: []string{"Pair", "Std(orig)", "Std(opt)", "P95-P05(orig)", "P95-P05(opt)"},
+	}
+	var out []Figure9Result
+	const minSkew = 2.0 // ps; tiny skews make ratios meaningless
+	for k := 1; k < aOrig.K; k++ {
+		ro := sta.SkewRatios(aOrig, k, pairs, minSkew)
+		rn := sta.SkewRatios(aOpt, k, pairs, minSkew)
+		so, sn := fit.Summarize(ro), fit.Summarize(rn)
+		lo, hi := so.P05, so.P95
+		span := hi - lo
+		if span <= 0 {
+			span = 1
+		}
+		ho := fit.NewHistogram(lo-0.2*span, hi+0.2*span, 24)
+		ho.AddAll(ro)
+		hn := fit.NewHistogram(lo-0.2*span, hi+0.2*span, 24)
+		hn.AddAll(rn)
+		name := fmt.Sprintf("(%s,c0)", e.Design.CornerNames[k])
+		out = append(out, Figure9Result{
+			Corner: k, CornerName: name,
+			OrigHist: ho.Render(36), OptHist: hn.Render(36),
+			OrigStd: so.Std, OptStd: sn.Std,
+			OrigSpread: so.P95 - so.P05, OptSpread: sn.P95 - sn.P05,
+		})
+		tb.AddRowf(name,
+			fmt.Sprintf("%.3f", so.Std), fmt.Sprintf("%.3f", sn.Std),
+			fmt.Sprintf("%.3f", so.P95-so.P05), fmt.Sprintf("%.3f", sn.P95-sn.P05))
+	}
+	return out, tb, nil
+}

@@ -1,0 +1,91 @@
+// Package legalize snaps clock buffers to legal placement sites and
+// resolves overlaps. The paper's ECO loop runs placement legalization after
+// every buffer insertion/displacement; the same discretization is one of the
+// reasons its LP solution cannot be realized exactly — reproducing that gap
+// here is deliberate.
+package legalize
+
+import (
+	"sort"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+)
+
+// Legalizer snaps points to a site grid within a die and keeps one buffer
+// per site.
+type Legalizer struct {
+	Die   geom.Rect
+	SiteW float64
+	RowH  float64
+}
+
+// New returns a legalizer for the given die and site geometry.
+func New(die geom.Rect, siteW, rowH float64) *Legalizer {
+	if siteW <= 0 || rowH <= 0 {
+		panic("legalize: non-positive site geometry")
+	}
+	return &Legalizer{Die: die, SiteW: siteW, RowH: rowH}
+}
+
+// Snap returns the legal location nearest to p: clamped to the die and
+// aligned to the site grid.
+func (l *Legalizer) Snap(p geom.Point) geom.Point {
+	q := l.Die.Clamp(p)
+	x := l.Die.Lo.X + float64(int((q.X-l.Die.Lo.X)/l.SiteW+0.5))*l.SiteW
+	y := l.Die.Lo.Y + float64(int((q.Y-l.Die.Lo.Y)/l.RowH+0.5))*l.RowH
+	return l.Die.Clamp(geom.Pt(x, y))
+}
+
+type siteKey struct{ ix, iy int }
+
+func (l *Legalizer) key(p geom.Point) siteKey {
+	return siteKey{
+		ix: int((p.X - l.Die.Lo.X) / l.SiteW),
+		iy: int((p.Y - l.Die.Lo.Y) / l.RowH),
+	}
+}
+
+// Legalize snaps every buffer of the tree to the site grid and shifts
+// colliding buffers east (wrapping rows) until each occupies a unique site.
+// Sinks and the source are fixed. It returns the number of buffers whose
+// location changed.
+func (l *Legalizer) Legalize(tr *ctree.Tree) int {
+	occ := make(map[siteKey]bool)
+	// Fixed cells reserve their sites first.
+	for _, n := range tr.Nodes {
+		if n == nil {
+			continue
+		}
+		if n.Kind == ctree.KindSink || n.Kind == ctree.KindSource {
+			occ[l.key(l.Die.Clamp(n.Loc))] = true
+		}
+	}
+	buffers := tr.Buffers()
+	sort.Slice(buffers, func(i, j int) bool { return buffers[i] < buffers[j] })
+	moved := 0
+	nx := int(l.Die.W()/l.SiteW) + 1
+	for _, id := range buffers {
+		n := tr.Node(id)
+		p := l.Snap(n.Loc)
+		k := l.key(p)
+		for tries := 0; occ[k] && tries < 4*nx; tries++ {
+			k.ix++
+			if float64(k.ix)*l.SiteW > l.Die.W() {
+				k.ix = 0
+				k.iy++
+				if float64(k.iy)*l.RowH > l.Die.H() {
+					k.iy = 0
+				}
+			}
+		}
+		occ[k] = true
+		np := geom.Pt(l.Die.Lo.X+float64(k.ix)*l.SiteW, l.Die.Lo.Y+float64(k.iy)*l.RowH)
+		np = l.Die.Clamp(np)
+		if !np.Eq(n.Loc) {
+			n.Loc = np
+			moved++
+		}
+	}
+	return moved
+}

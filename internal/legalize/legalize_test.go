@@ -1,0 +1,141 @@
+package legalize
+
+import (
+	"testing"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+)
+
+func die() geom.Rect { return geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100)) }
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(die(), 0, 1)
+}
+
+func TestSnapAlignsAndClamps(t *testing.T) {
+	l := New(die(), 0.5, 2)
+	p := l.Snap(geom.Pt(10.26, 5.1))
+	if p.X != 10.5 || p.Y != 6 {
+		t.Errorf("Snap = %v", p)
+	}
+	out := l.Snap(geom.Pt(-50, 500))
+	if !die().Contains(out) {
+		t.Errorf("Snap outside die: %v", out)
+	}
+}
+
+func TestLegalizeResolvesOverlaps(t *testing.T) {
+	l := New(die(), 1, 1)
+	tr := ctree.NewTree(geom.Pt(0, 0), "CKINVX8")
+	// Three buffers at (almost) the same spot.
+	var ids []ctree.NodeID
+	for i := 0; i < 3; i++ {
+		b := tr.AddNode(ctree.KindBuffer, geom.Pt(50.1, 50.2), "CKINVX2", tr.Source)
+		ids = append(ids, b.ID)
+	}
+	tr.AddNode(ctree.KindSink, geom.Pt(60, 60), "", ids[0])
+	moved := l.Legalize(tr)
+	if moved == 0 {
+		t.Error("nothing moved")
+	}
+	seen := map[geom.Point]bool{}
+	for _, id := range ids {
+		p := tr.Node(id).Loc
+		if seen[p] {
+			t.Errorf("overlap remains at %v", p)
+		}
+		seen[p] = true
+		if !die().Contains(p) {
+			t.Errorf("buffer off-die at %v", p)
+		}
+		// On-grid.
+		if p.X != float64(int(p.X)) || p.Y != float64(int(p.Y)) {
+			t.Errorf("off-grid location %v", p)
+		}
+	}
+}
+
+func TestLegalizeKeepsSinksAndSource(t *testing.T) {
+	l := New(die(), 1, 1)
+	tr := ctree.NewTree(geom.Pt(3.7, 4.2), "CKINVX8")
+	s := tr.AddNode(ctree.KindSink, geom.Pt(10.3, 20.9), "", tr.Source)
+	l.Legalize(tr)
+	if !tr.Node(tr.Source).Loc.Eq(geom.Pt(3.7, 4.2)) {
+		t.Error("source moved")
+	}
+	if !tr.Node(s.ID).Loc.Eq(geom.Pt(10.3, 20.9)) {
+		t.Error("sink moved")
+	}
+}
+
+func TestLegalizeIdempotent(t *testing.T) {
+	l := New(die(), 1, 1)
+	tr := ctree.NewTree(geom.Pt(0, 0), "CKINVX8")
+	b := tr.AddNode(ctree.KindBuffer, geom.Pt(33.3, 44.4), "CKINVX2", tr.Source)
+	tr.AddNode(ctree.KindSink, geom.Pt(70, 70), "", b.ID)
+	l.Legalize(tr)
+	first := tr.Node(b.ID).Loc
+	moved := l.Legalize(tr)
+	if moved != 0 || !tr.Node(b.ID).Loc.Eq(first) {
+		t.Errorf("not idempotent: moved=%d loc=%v vs %v", moved, tr.Node(b.ID).Loc, first)
+	}
+}
+
+func TestLegalizeDeterministic(t *testing.T) {
+	build := func() *ctree.Tree {
+		tr := ctree.NewTree(geom.Pt(0, 0), "CKINVX8")
+		prev := tr.Source
+		for i := 0; i < 10; i++ {
+			b := tr.AddNode(ctree.KindBuffer, geom.Pt(25.7, 25.1), "CKINVX2", prev)
+			prev = b.ID
+		}
+		tr.AddNode(ctree.KindSink, geom.Pt(90, 90), "", prev)
+		return tr
+	}
+	l := New(die(), 1, 1)
+	t1 := build()
+	t2 := build()
+	l.Legalize(t1)
+	l.Legalize(t2)
+	for i := range t1.Nodes {
+		if t1.Nodes[i] == nil {
+			continue
+		}
+		if !t1.Nodes[i].Loc.Eq(t2.Nodes[i].Loc) {
+			t.Fatalf("node %d differs across runs", i)
+		}
+	}
+}
+
+func TestLegalizeRowWrapUnderPressure(t *testing.T) {
+	// A 3×3-site die with many buffers forces east shifts to wrap rows.
+	tiny := geom.NewRect(geom.Pt(0, 0), geom.Pt(3, 3))
+	l := New(tiny, 1, 1)
+	tr := ctree.NewTree(geom.Pt(0, 0), "CKINVX8")
+	var ids []ctree.NodeID
+	prev := tr.Source
+	for i := 0; i < 8; i++ {
+		b := tr.AddNode(ctree.KindBuffer, geom.Pt(1.4, 1.4), "CKINVX1", prev)
+		ids = append(ids, b.ID)
+		prev = b.ID
+	}
+	tr.AddNode(ctree.KindSink, geom.Pt(2, 2), "", prev)
+	l.Legalize(tr)
+	seen := map[geom.Point]bool{}
+	for _, id := range ids {
+		p := tr.Node(id).Loc
+		if !tiny.Contains(p) {
+			t.Errorf("buffer off tiny die at %v", p)
+		}
+		if seen[p] {
+			t.Errorf("overlap at %v", p)
+		}
+		seen[p] = true
+	}
+}

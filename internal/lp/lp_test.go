@@ -1,0 +1,419 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	return sol
+}
+
+// feasCheck verifies the solution satisfies all constraints and bounds.
+func feasCheck(t *testing.T, p *Problem, x []float64, tol float64) {
+	t.Helper()
+	for j := range x {
+		if x[j] < p.lo[j]-tol || x[j] > p.hi[j]+tol {
+			t.Fatalf("var %d = %v out of [%v,%v]", j, x[j], p.lo[j], p.hi[j])
+		}
+	}
+	for r := range p.rowSense {
+		var lhs float64
+		for i, v := range p.rowIdx[r] {
+			lhs += p.rowCoef[r][i] * x[v]
+		}
+		switch p.rowSense[r] {
+		case LE:
+			if lhs > p.rowRHS[r]+tol {
+				t.Fatalf("row %d: %v > %v", r, lhs, p.rowRHS[r])
+			}
+		case GE:
+			if lhs < p.rowRHS[r]-tol {
+				t.Fatalf("row %d: %v < %v", r, lhs, p.rowRHS[r])
+			}
+		default:
+			if math.Abs(lhs-p.rowRHS[r]) > tol {
+				t.Fatalf("row %d: %v != %v", r, lhs, p.rowRHS[r])
+			}
+		}
+	}
+}
+
+func TestSimple2D(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6, x,y ≥ 0 → minimize -(x+y).
+	// Optimum at intersection: x=8/5, y=6/5, obj = 14/5.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1, "x")
+	y := p.AddVar(0, Inf, -1, "y")
+	p.AddConstraint(LE, 4, []int{x, y}, []float64{1, 2})
+	p.AddConstraint(LE, 6, []int{x, y}, []float64{3, 1})
+	sol := solveOK(t, p)
+	feasCheck(t, p, sol.X, 1e-7)
+	if math.Abs(sol.Obj+14.0/5) > 1e-7 {
+		t.Errorf("obj = %v, want -2.8", sol.Obj)
+	}
+	if math.Abs(sol.X[x]-1.6) > 1e-7 || math.Abs(sol.X[y]-1.2) > 1e-7 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x ≥ 3, y ≥ 2  → x=8,y=2, obj=22.
+	p := NewProblem()
+	x := p.AddVar(3, Inf, 2, "x")
+	y := p.AddVar(2, Inf, 3, "y")
+	p.AddConstraint(EQ, 10, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	feasCheck(t, p, sol.X, 1e-7)
+	if math.Abs(sol.Obj-22) > 1e-7 {
+		t.Errorf("obj = %v", sol.Obj)
+	}
+}
+
+func TestGEConstraintPhase1(t *testing.T) {
+	// min x+y s.t. x+y ≥ 5, x ≤ 3, x,y ≥ 0 → obj 5.
+	p := NewProblem()
+	x := p.AddVar(0, 3, 1, "x")
+	y := p.AddVar(0, Inf, 1, "y")
+	p.AddConstraint(GE, 5, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	feasCheck(t, p, sol.X, 1e-7)
+	if math.Abs(sol.Obj-5) > 1e-7 {
+		t.Errorf("obj = %v", sol.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 1, "x")
+	p.AddConstraint(GE, 5, []int{x}, []float64{1})
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleContradiction(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-Inf, Inf, 0, "x")
+	y := p.AddVar(-Inf, Inf, 0, "y")
+	p.AddConstraint(EQ, 1, []int{x, y}, []float64{1, 1})
+	p.AddConstraint(EQ, 3, []int{x, y}, []float64{1, 1})
+	sol, _ := p.Solve(Options{})
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1, "x")
+	y := p.AddVar(0, Inf, 0, "y")
+	p.AddConstraint(LE, 5, []int{y}, []float64{1})
+	sol, _ := p.Solve(Options{})
+	_ = x
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |style| with free var: min x s.t. x ≥ -7 handled via constraint.
+	p := NewProblem()
+	x := p.AddVar(-Inf, Inf, 1, "x")
+	p.AddConstraint(GE, -7, []int{x}, []float64{1})
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj+7) > 1e-7 {
+		t.Errorf("obj = %v, want -7", sol.Obj)
+	}
+}
+
+func TestUpperBoundedVars(t *testing.T) {
+	// max 3x+2y, x≤2, y≤3, x+y≤4 → x=2,y=2, obj=10.
+	p := NewProblem()
+	x := p.AddVar(0, 2, -3, "x")
+	y := p.AddVar(0, 3, -2, "y")
+	p.AddConstraint(LE, 4, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	feasCheck(t, p, sol.X, 1e-7)
+	if math.Abs(sol.Obj+10) > 1e-7 {
+		t.Errorf("obj = %v, want -10", sol.Obj)
+	}
+}
+
+func TestNegativeBounds(t *testing.T) {
+	// min x, -10 ≤ x ≤ -2 → -10.
+	p := NewProblem()
+	p.AddVar(-10, -2, 1, "x")
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj+10) > 1e-9 {
+		t.Errorf("obj = %v", sol.Obj)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(5, 5, 1, "x")
+	y := p.AddVar(0, Inf, 1, "y")
+	p.AddConstraint(GE, 8, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	feasCheck(t, p, sol.X, 1e-7)
+	if math.Abs(sol.X[x]-5) > 1e-9 || math.Abs(sol.X[y]-3) > 1e-7 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestDuplicateIndicesMerged(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1, "x")
+	p.AddConstraint(GE, 6, []int{x, x, x}, []float64{1, 1, 1}) // 3x ≥ 6
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[x]-2) > 1e-7 {
+		t.Errorf("x = %v", sol.X[x])
+	}
+}
+
+func TestAbsValueSplitPattern(t *testing.T) {
+	// The core optimization writes |Δ| as Δ⁺+Δ⁻. Verify the pattern:
+	// min Δ⁺+Δ⁻ s.t. (base + Δ⁺ − Δ⁻) = target.
+	p := NewProblem()
+	dp := p.AddVar(0, Inf, 1, "d+")
+	dn := p.AddVar(0, Inf, 1, "d-")
+	// base 10, target 7: Δ = −3 → Δ⁻=3.
+	p.AddConstraint(EQ, 7-10, []int{dp, dn}, []float64{1, -1})
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj-3) > 1e-7 {
+		t.Errorf("obj = %v, want 3", sol.Obj)
+	}
+	if sol.X[dp] > 1e-7 || math.Abs(sol.X[dn]-3) > 1e-7 {
+		t.Errorf("split = %v", sol.X)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Multiple constraints active at the optimum; classic degeneracy.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1, "x")
+	y := p.AddVar(0, Inf, -1, "y")
+	p.AddConstraint(LE, 1, []int{x, y}, []float64{1, 1})
+	p.AddConstraint(LE, 1, []int{x, y}, []float64{1, 1})
+	p.AddConstraint(LE, 1, []int{x}, []float64{1})
+	p.AddConstraint(LE, 1, []int{y}, []float64{1})
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj+1) > 1e-7 {
+		t.Errorf("obj = %v, want -1", sol.Obj)
+	}
+}
+
+func TestAssignmentLPIsIntegralAndOptimal(t *testing.T) {
+	// LP relaxation of the assignment problem is integral; compare the LP
+	// optimum against brute-force enumeration of permutations.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(3) // 3..5
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		p := NewProblem()
+		vars := make([][]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				vars[i][j] = p.AddVar(0, 1, cost[i][j], "")
+			}
+		}
+		for i := 0; i < n; i++ {
+			idx := make([]int, n)
+			ones := make([]float64, n)
+			for j := 0; j < n; j++ {
+				idx[j] = vars[i][j]
+				ones[j] = 1
+			}
+			p.AddConstraint(EQ, 1, idx, ones)
+		}
+		for j := 0; j < n; j++ {
+			idx := make([]int, n)
+			ones := make([]float64, n)
+			for i := 0; i < n; i++ {
+				idx[i] = vars[i][j]
+				ones[i] = 1
+			}
+			p.AddConstraint(EQ, 1, idx, ones)
+		}
+		sol := solveOK(t, p)
+		feasCheck(t, p, sol.X, 1e-6)
+		// Brute force.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := math.Inf(1)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				var c float64
+				for i, j := range perm {
+					c += cost[i][j]
+				}
+				if c < best {
+					best = c
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if math.Abs(sol.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: LP obj %v != brute force %v", trial, sol.Obj, best)
+		}
+	}
+}
+
+func TestRandomFeasibleBoundedLPs(t *testing.T) {
+	// Random LPs with box bounds and random ≤ rows through a known interior
+	// point (guaranteeing feasibility). The solver must return Optimal with
+	// a feasible X whose objective beats the interior point.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(10)
+		p := NewProblem()
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			lo := rng.Float64()*4 - 2
+			hi := lo + 0.5 + rng.Float64()*4
+			x0[j] = lo + (hi-lo)*rng.Float64()
+			p.AddVar(lo, hi, rng.NormFloat64(), "")
+		}
+		for r := 0; r < m; r++ {
+			var idx []int
+			var coef []float64
+			var lhs float64
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					c := rng.NormFloat64()
+					idx = append(idx, j)
+					coef = append(coef, c)
+					lhs += c * x0[j]
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			p.AddConstraint(LE, lhs+rng.Float64(), idx, coef)
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		feasCheck(t, p, sol.X, 1e-6)
+		var objAtX0 float64
+		for j := 0; j < n; j++ {
+			objAtX0 += p.cost[j] * x0[j]
+		}
+		if sol.Obj > objAtX0+1e-6 {
+			t.Fatalf("trial %d: obj %v worse than interior point %v", trial, sol.Obj, objAtX0)
+		}
+	}
+}
+
+func TestMediumScalePerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A 300-row, 400-var random feasible LP should solve quickly.
+	rng := rand.New(rand.NewSource(31))
+	n, m := 400, 300
+	p := NewProblem()
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x0[j] = rng.Float64()
+		p.AddVar(0, 2, rng.Float64(), "")
+	}
+	for r := 0; r < m; r++ {
+		var idx []int
+		var coef []float64
+		var lhs float64
+		for k := 0; k < 6; k++ {
+			j := rng.Intn(n)
+			c := 0.2 + rng.Float64()
+			idx = append(idx, j)
+			coef = append(coef, c)
+			lhs += c * x0[j]
+		}
+		p.AddConstraint(LE, lhs+0.1, idx, coef)
+	}
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v after %d iters", sol.Status, sol.Iterations)
+	}
+	feasCheck(t, p, sol.X, 1e-6)
+}
+
+func TestStatusString(t *testing.T) {
+	for s, w := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if s.String() != w {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status empty")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 0, "x")
+	for _, f := range []func(){
+		func() { p.AddVar(2, 1, 0, "bad") },
+		func() { p.AddConstraint(LE, 0, []int{x}, []float64{1, 2}) },
+		func() { p.AddConstraint(LE, 0, []int{99}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(0, 1, 0, "x")
+	p.AddConstraint(LE, 1, []int{0}, []float64{1})
+	if p.NumVars() != 1 || p.NumRows() != 1 {
+		t.Errorf("NumVars/NumRows = %d/%d", p.NumVars(), p.NumRows())
+	}
+}

@@ -1,0 +1,85 @@
+package lut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: UniformAt interpolates within the bracketing grid values for
+// any spacing in range.
+func TestUniformAtBracketProperty(t *testing.T) {
+	c := char(t)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		p := rng.Intn(c.NumCells())
+		k := rng.Intn(c.T.NumCorners())
+		q := SpacingMin + rng.Float64()*(SpacingMax-SpacingMin)
+		v := c.UniformAt(p, q, k)
+		qi := int((q - SpacingMin) / SpacingStep)
+		lo := c.Uniform(p, qi, k)
+		hiIdx := qi + 1
+		if hiIdx >= len(c.Spacings) {
+			hiIdx = qi
+		}
+		hi := c.Uniform(p, hiIdx, k)
+		if v < math.Min(lo, hi)-1e-9 || v > math.Max(lo, hi)+1e-9 {
+			t.Fatalf("UniformAt(%d, %.2f, %d)=%v outside [%v, %v]", p, q, k, v, lo, hi)
+		}
+	}
+}
+
+// Property: DetailStage delay is monotone in end load and wire length for
+// arbitrary in-range inputs.
+func TestDetailStageMonotoneProperty(t *testing.T) {
+	c := char(t)
+	f := func(rawSpacing, rawSlew, rawLoad float64) bool {
+		spacing := 10 + math.Abs(math.Mod(rawSpacing, 180))
+		slew := 5 + math.Abs(math.Mod(rawSlew, 300))
+		load := 0.5 + math.Abs(math.Mod(rawLoad, 40))
+		d1, _ := c.DetailStage(2, spacing, 0, slew, load)
+		d2, _ := c.DetailStage(2, spacing, 0, slew, load+5)
+		d3, _ := c.DetailStage(2, spacing+20, 0, slew, load)
+		return d2 > d1 && d3 > d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the fitted envelopes always bracket fresh ratio evaluations at
+// arbitrary spacings (not just the characterized grid) within a small
+// guard, for the (c1, c0) pair.
+func TestEnvelopeGeneralizationProperty(t *testing.T) {
+	c := char(t)
+	env, err := c.FitEnvelope(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	violations := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		p := rng.Intn(c.NumCells())
+		q := SpacingMin + rng.Float64()*(SpacingMax-SpacingMin)
+		qi := int((q - SpacingMin) / SpacingStep)
+		slew := c.SteadySlew(p, qi, 0) * (0.85 + rng.Float64()*0.4)
+		load := c.T.Cells[p].InCap * (0.85 + rng.Float64()*0.5)
+		d0, _ := c.DetailStage(p, q, 0, slew, load)
+		d1, _ := c.DetailStage(p, q, 1, slew, load)
+		if d0 <= 0 {
+			continue
+		}
+		lo, hi := env.Bounds(d0 / q)
+		r := d1 / d0
+		if r < lo-0.03 || r > hi+0.03 {
+			violations++
+		}
+	}
+	// The envelope was fitted on a discrete variant grid; random off-grid
+	// points may rarely poke out, but not systematically.
+	if violations > trials/20 {
+		t.Errorf("%d/%d off-grid ratios escape the envelope", violations, trials)
+	}
+}

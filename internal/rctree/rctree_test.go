@@ -1,0 +1,248 @@
+package rctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckErrors(t *testing.T) {
+	if err := New(0).Check(); err == nil {
+		t.Error("empty tree passed")
+	}
+	rc := New(2)
+	rc.Parent[0] = 1 // root with parent
+	if err := rc.Check(); err == nil {
+		t.Error("rooted-at-0 violation passed")
+	}
+	rc2 := New(2)
+	rc2.Parent[1] = 5
+	if err := rc2.Check(); err == nil {
+		t.Error("out-of-range parent passed")
+	}
+	rc3 := New(2)
+	rc3.Parent[1] = 0
+	rc3.Res[1] = -1
+	if err := rc3.Check(); err == nil {
+		t.Error("negative R passed")
+	}
+	rc4 := New(3)
+	rc4.Parent[1] = 2
+	rc4.Parent[2] = 1
+	if err := rc4.Check(); err == nil {
+		t.Error("cycle passed")
+	}
+	rc5 := New(2)
+	rc5.Res = rc5.Res[:1]
+	if err := rc5.Check(); err == nil {
+		t.Error("mismatched arrays passed")
+	}
+}
+
+func TestElmoreSingleLumpedRC(t *testing.T) {
+	// Driver -- R=2kΩ --> C=5fF. Elmore = 10ps.
+	rc := New(2)
+	rc.Parent[1] = 0
+	rc.Res[1] = 2
+	rc.Cap[1] = 5
+	if err := rc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m1 := rc.Elmore()
+	if math.Abs(m1[1]-10) > 1e-12 {
+		t.Errorf("Elmore = %v, want 10", m1[1])
+	}
+	if m1[0] != 0 {
+		t.Errorf("root Elmore = %v", m1[0])
+	}
+	if rc.TotalCap() != 5 {
+		t.Errorf("TotalCap = %v", rc.TotalCap())
+	}
+}
+
+func TestElmoreHandComputedChain(t *testing.T) {
+	// 0 -R1=1-> 1(C=2) -R2=3-> 2(C=4)
+	// Elmore(1) = 1*(2+4) = 6; Elmore(2) = 6 + 3*4 = 18.
+	rc := New(3)
+	rc.Parent[1], rc.Res[1], rc.Cap[1] = 0, 1, 2
+	rc.Parent[2], rc.Res[2], rc.Cap[2] = 1, 3, 4
+	m1 := rc.Elmore()
+	if math.Abs(m1[1]-6) > 1e-12 || math.Abs(m1[2]-18) > 1e-12 {
+		t.Errorf("Elmore = %v", m1)
+	}
+	dc := rc.DownCap()
+	if dc[0] != 6 || dc[1] != 6 || dc[2] != 4 {
+		t.Errorf("DownCap = %v", dc)
+	}
+}
+
+func TestElmoreBranching(t *testing.T) {
+	//      0
+	//   R=1|
+	//      1 (C=1)
+	//    /   \
+	// R=2     R=2
+	// 2(C=3)  3(C=5)
+	rc := New(4)
+	rc.Parent[1], rc.Res[1], rc.Cap[1] = 0, 1, 1
+	rc.Parent[2], rc.Res[2], rc.Cap[2] = 1, 2, 3
+	rc.Parent[3], rc.Res[3], rc.Cap[3] = 1, 2, 5
+	m1 := rc.Elmore()
+	// Elmore(2) = 1*9 + 2*3 = 15; Elmore(3) = 9 + 10 = 19.
+	if math.Abs(m1[2]-15) > 1e-12 || math.Abs(m1[3]-19) > 1e-12 {
+		t.Errorf("Elmore = %v", m1)
+	}
+}
+
+func TestMomentsSinglePole(t *testing.T) {
+	// Single lumped RC: m1 = τ, m2 = τ² (for a single pole, the moment
+	// recursion gives m2 = R·C·m1 = τ²).
+	rc := New(2)
+	rc.Parent[1] = 0
+	rc.Res[1] = 4
+	rc.Cap[1] = 3
+	m1, m2 := rc.Moments()
+	tau := 12.0
+	if math.Abs(m1[1]-tau) > 1e-12 {
+		t.Errorf("m1 = %v", m1[1])
+	}
+	if math.Abs(m2[1]-tau*tau) > 1e-12 {
+		t.Errorf("m2 = %v, want τ²=%v", m2[1], tau*tau)
+	}
+	// D2M of a single pole: ln2·τ — the exact 50% delay.
+	d := D2M(m1[1], m2[1])
+	if math.Abs(d-math.Ln2*tau) > 1e-9 {
+		t.Errorf("D2M = %v, want %v", d, math.Ln2*tau)
+	}
+	// Step slew of a single pole = 2.2τ.
+	s := StepSlew(m1[1], m2[1])
+	if math.Abs(s-2.2*tau) > 1e-9 {
+		t.Errorf("StepSlew = %v, want %v", s, 2.2*tau)
+	}
+}
+
+func TestD2MBoundsElmore(t *testing.T) {
+	// D2M is known to lower-bound Elmore (≤ m1) on RC trees and to be far
+	// more accurate for near-source nodes; check D2M ≤ Elmore on random
+	// chains.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		rc := New(n)
+		for i := 1; i < n; i++ {
+			rc.Parent[i] = rng.Intn(i)
+			rc.Res[i] = 0.1 + rng.Float64()
+			rc.Cap[i] = 0.1 + rng.Float64()*5
+		}
+		if err := rc.Check(); err != nil {
+			t.Fatal(err)
+		}
+		m1, m2 := rc.Moments()
+		for i := 1; i < n; i++ {
+			d := D2M(m1[i], m2[i])
+			if d > m1[i]+1e-9 {
+				t.Fatalf("trial %d node %d: D2M %v > Elmore %v", trial, i, d, m1[i])
+			}
+			if d <= 0 {
+				t.Fatalf("trial %d node %d: non-positive D2M", trial, i)
+			}
+		}
+	}
+}
+
+func TestDegenerateMetrics(t *testing.T) {
+	if d := D2M(10, 0); math.Abs(d-10*math.Ln2) > 1e-12 {
+		t.Errorf("degenerate D2M = %v", d)
+	}
+	if s := StepSlew(10, 0); math.Abs(s-22) > 1e-12 {
+		t.Errorf("degenerate StepSlew = %v", s)
+	}
+}
+
+func TestPERISlew(t *testing.T) {
+	if s := PERISlew(3, 4); math.Abs(s-5) > 1e-12 {
+		t.Errorf("PERI = %v, want 5", s)
+	}
+	if s := PERISlew(7, 0); s != 7 {
+		t.Errorf("PERI with zero wire = %v", s)
+	}
+}
+
+func TestBuilderWireSplitsCap(t *testing.T) {
+	b := NewBuilder(1.0)
+	end := b.AddWire(0, 100, 0.002, 0.2) // R=0.2kΩ, C=20fF total
+	b.AddLoad(end, 5)
+	rc := b.Done()
+	if err := rc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rc.TotalCap()-26) > 1e-9 {
+		t.Errorf("TotalCap = %v, want 26", rc.TotalCap())
+	}
+	m1 := rc.Elmore()
+	// Distributed wire + load: Elmore = R·(C/2 + Cload) for the ideal
+	// distributed line = 0.2·(10+5) = 3ps; the 2-segment π approximation
+	// should be within a few percent.
+	want := 3.0
+	if math.Abs(m1[end]-want) > 0.35 {
+		t.Errorf("Elmore = %v, want ≈%v", m1[end], want)
+	}
+	// More segments must approach the distributed limit monotonically from
+	// one side; just verify the value is sane and positive.
+	if m1[end] <= 0 {
+		t.Error("non-positive wire delay")
+	}
+}
+
+func TestBuilderNegativeWirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewBuilder(0).AddWire(0, -1, 1, 1)
+}
+
+func TestElmoreMonotoneInLoadProperty(t *testing.T) {
+	// Adding load anywhere must not decrease any Elmore delay.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(15)
+		rc := New(n)
+		for i := 1; i < n; i++ {
+			rc.Parent[i] = rng.Intn(i)
+			rc.Res[i] = 0.1 + rng.Float64()
+			rc.Cap[i] = rng.Float64() * 3
+		}
+		before := rc.Elmore()
+		target := rng.Intn(n)
+		rc2 := New(n)
+		copy(rc2.Parent, rc.Parent)
+		copy(rc2.Res, rc.Res)
+		copy(rc2.Cap, rc.Cap)
+		rc2.Cap[target] += 2
+		after := rc2.Elmore()
+		for i := 0; i < n; i++ {
+			if after[i] < before[i]-1e-12 {
+				t.Fatalf("trial %d: Elmore decreased at node %d after adding load", trial, i)
+			}
+		}
+	}
+}
+
+func TestBuilderChainTopology(t *testing.T) {
+	b := NewBuilder(0)
+	a := b.AddWire(0, 50, 0.002, 0.2)
+	c := b.AddWire(a, 50, 0.002, 0.2)
+	d := b.AddWire(a, 30, 0.002, 0.2) // branch
+	b.AddLoad(c, 2)
+	b.AddLoad(d, 3)
+	rc := b.Done()
+	if err := rc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m1 := rc.Elmore()
+	if m1[c] <= m1[a] || m1[d] <= m1[a] {
+		t.Error("downstream Elmore not larger than branch point")
+	}
+}

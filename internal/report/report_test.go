@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tb.AddRow("hello", "1")
+	tb.AddRowf(3.5, "x")
+	out := tb.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "hello") || !strings.Contains(out, "3.5") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Alignment: all data lines same length.
+	if len(lines[1]) != len(lines[3]) {
+		t.Errorf("misaligned: %q vs %q", lines[1], lines[3])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("1", "2", "3") // wider than headers
+	out := tb.Render()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "v"}}
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("quoting wrong: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "name,v\n") {
+		t.Errorf("header wrong: %s", csv)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}}
+	out := SeriesCSV(s)
+	if !strings.Contains(out, "s1,1,10\n") || !strings.Contains(out, "s1,2,20\n") {
+		t.Errorf("series csv: %s", out)
+	}
+	// Mismatched lengths truncate safely.
+	bad := Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{5}}
+	out2 := SeriesCSV(bad)
+	if strings.Count(out2, "\n") != 2 { // header + 1 row
+		t.Errorf("truncation wrong: %s", out2)
+	}
+}

@@ -1,0 +1,191 @@
+package sta
+
+import (
+	"math"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/rctree"
+)
+
+// slewConvergedEps is the input-slew change (ps) below which a downstream
+// stage's gate delay is considered unchanged — the same observation the
+// paper uses to stop slew updates two stages downstream ("the delay and
+// slew change of buffers beyond two stages is <1ps").
+const slewConvergedEps = 0.01
+
+// AnalyzeIncremental re-times the tree after a local edit, starting from a
+// baseline analysis of the pre-edit tree. dirty lists the nodes whose
+// electrical context changed (moved/resized/re-parented nodes); their
+// drivers are pulled in automatically. Nets whose driver input slew is
+// unchanged propagate as pure arrival offsets without rebuilding RC or
+// re-interpolating tables, so the cost of a leaf-level move is proportional
+// to the affected subtree, not the design.
+//
+// The result is equivalent to Analyze within slew-convergence tolerance
+// (picoseconds-e-3); see the equivalence tests.
+func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctree.NodeID) *Analysis {
+	K := tm.Tech.NumCorners()
+	n := len(tr.Nodes)
+	a := &Analysis{K: K, MaxLat: make([]float64, K)}
+	a.Arrive = make([][]float64, K)
+	a.Slew = make([][]float64, K)
+	for k := 0; k < K; k++ {
+		a.Arrive[k] = make([]float64, n)
+		a.Slew[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			if k < base.K && i < len(base.Arrive[k]) {
+				a.Arrive[k][i] = base.Arrive[k][i]
+				a.Slew[k][i] = base.Slew[k][i]
+			} else {
+				a.Arrive[k][i] = math.NaN()
+				a.Slew[k][i] = math.NaN()
+			}
+		}
+		a.Arrive[k][tr.Source] = 0
+		a.Slew[k][tr.Source] = tm.SourceSlew
+	}
+	baseAt := func(k int, id ctree.NodeID) (arr, slew float64, ok bool) {
+		if k >= base.K || int(id) >= len(base.Arrive[k]) {
+			return 0, 0, false
+		}
+		arr, slew = base.Arrive[k][id], base.Slew[k][id]
+		return arr, slew, !math.IsNaN(arr)
+	}
+
+	recompute := make(map[ctree.NodeID]bool, 2*len(dirty))
+	for _, d := range dirty {
+		node := tr.Node(d)
+		if node == nil {
+			continue
+		}
+		if node.Kind == ctree.KindSource || node.Kind == ctree.KindBuffer {
+			recompute[d] = true
+		}
+		if drv := tr.Driver(d); drv != ctree.NoNode {
+			recompute[drv] = true
+		}
+	}
+
+	for _, id := range tr.Topo() {
+		node := tr.Node(id)
+		if node.Kind != ctree.KindSource && node.Kind != ctree.KindBuffer {
+			continue
+		}
+		needFull := recompute[id]
+		var arrDelta []float64
+		if !needFull {
+			for k := 0; k < K; k++ {
+				bArr, bSlew, ok := baseAt(k, id)
+				if !ok {
+					needFull = true
+					break
+				}
+				if math.Abs(a.Slew[k][id]-bSlew) > slewConvergedEps {
+					needFull = true
+					break
+				}
+				if arrDelta == nil {
+					arrDelta = make([]float64, K)
+				}
+				arrDelta[k] = a.Arrive[k][id] - bArr
+			}
+		}
+		if needFull {
+			tm.retimeNet(tr, id, a)
+			continue
+		}
+		// Arrival-offset fast path: the driver's input slew is unchanged, so
+		// every stage delay in this net is identical to the baseline; net
+		// arrivals shift by the driver's arrival delta.
+		changed := false
+		for k := 0; k < K; k++ {
+			if arrDelta[k] != 0 {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		ok := true
+		pinsAndTaps := netNodes(tr, id)
+		for _, nid := range pinsAndTaps {
+			for k := 0; k < K; k++ {
+				bArr, bSlew, present := baseAt(k, nid)
+				if !present {
+					ok = false
+					break
+				}
+				a.Arrive[k][nid] = bArr + arrDelta[k]
+				a.Slew[k][nid] = bSlew
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			// A net node is new relative to the baseline: fall back.
+			tm.retimeNet(tr, id, a)
+		}
+	}
+	for k := 0; k < K; k++ {
+		for _, s := range tr.Sinks() {
+			if v := a.Arrive[k][s]; !math.IsNaN(v) && v > a.MaxLat[k] {
+				a.MaxLat[k] = v
+			}
+		}
+	}
+	return a
+}
+
+// retimeNet recomputes one driving node's net exactly as Analyze does,
+// writing the results into a.
+func (tm *Timer) retimeNet(tr *ctree.Tree, id ctree.NodeID, a *Analysis) {
+	node := tr.Node(id)
+	cell := tm.Tech.CellByName(node.CellName)
+	if cell == nil {
+		panic("sta: unknown cell " + node.CellName)
+	}
+	for k := 0; k < a.K; k++ {
+		rc, idx := tm.netRC(tr, id, k)
+		load := rc.TotalCap()
+		slewIn := a.Slew[k][id]
+		dly, outSlew := PairDelay(tm.Tech, cell, k, slewIn, load)
+		m1, m2 := rc.Moments()
+		for nid, ri := range idx {
+			if nid == id {
+				continue
+			}
+			var wire float64
+			switch tm.Wire {
+			case WireElmore:
+				wire = m1[ri]
+			default:
+				wire = rctree.D2M(m1[ri], m2[ri])
+			}
+			a.Arrive[k][nid] = a.Arrive[k][id] + dly + wire
+			a.Slew[k][nid] = rctree.PERISlew(outSlew, rctree.StepSlew(m1[ri], m2[ri]))
+		}
+	}
+}
+
+// netNodes walks the net of driving node id (through transparent taps),
+// returning every net node except the driver.
+func netNodes(tr *ctree.Tree, id ctree.NodeID) []ctree.NodeID {
+	var out []ctree.NodeID
+	n := tr.Node(id)
+	stack := append([]ctree.NodeID(nil), n.Children...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := tr.Node(cur)
+		if c == nil {
+			continue
+		}
+		out = append(out, cur)
+		if c.Kind == ctree.KindTap {
+			stack = append(stack, c.Children...)
+		}
+	}
+	return out
+}

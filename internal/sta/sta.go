@@ -1,0 +1,344 @@
+// Package sta is the golden timer of the reproduction: a multi-corner
+// static timing analyzer for clock trees. It combines NLDM table
+// interpolation for gate delays/slews (see internal/tech), distributed RC
+// wire models with Elmore and D2M delay metrics (see internal/rctree), and
+// PERI slew propagation. It also computes the paper's objective: normalized
+// clock-skew variation across corners between sequentially adjacent sink
+// pairs (§3, Eqs. (1)–(3)).
+//
+// The paper uses Synopsys PrimeTime as the signoff oracle; every acceptance
+// decision in the optimization flow consults this timer in the same role.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+	"skewvar/internal/rctree"
+	"skewvar/internal/route"
+	"skewvar/internal/tech"
+)
+
+// WireModel selects the wire delay metric used by the timer.
+type WireModel int
+
+// Wire models.
+const (
+	WireD2M    WireModel = iota // golden default: two-moment metric
+	WireElmore                  // first moment (pessimistic far from driver)
+)
+
+// InternalPairWireUM is the wire length between the two inverters of a pair.
+const InternalPairWireUM = 2.0
+
+// DefaultSourceSlew is the input slew (ps) presented at the clock source.
+const DefaultSourceSlew = 30.0
+
+// Timer is a reusable analysis context. The zero value is not usable; build
+// with New.
+type Timer struct {
+	Tech       *tech.Tech
+	Cong       *route.Congestion // nil → ideal (uncongested) routes
+	Wire       WireModel
+	SourceSlew float64
+}
+
+// New returns a timer over the given technology with golden defaults.
+func New(t *tech.Tech) *Timer {
+	return &Timer{Tech: t, Wire: WireD2M, SourceSlew: DefaultSourceSlew}
+}
+
+// Analysis holds per-corner arrival times and slews for every live node of
+// the analyzed tree. Index arrays are sized to the tree's node table;
+// entries for removed nodes are NaN.
+type Analysis struct {
+	K      int         // number of corners
+	Arrive [][]float64 // [corner][nodeID] arrival (ps) at the node's input
+	Slew   [][]float64 // [corner][nodeID] input slew (ps) at pins
+	MaxLat []float64   // per corner, max sink latency
+}
+
+// PairDelay returns the golden delay and output slew of an inverter-pair
+// buffer (two gate stages through the short internal wire), evaluated with
+// the signoff-accurate gate model.
+func PairDelay(t *tech.Tech, cell *tech.Cell, k int, slewIn, loadFF float64) (delay, outSlew float64) {
+	internalC := InternalPairWireUM * t.WireC(k)
+	load1 := cell.InCap + internalC
+	d1 := cell.DelayPS(k, slewIn, load1)
+	s1 := cell.OutSlewPS(k, slewIn, load1)
+	d2 := cell.DelayPS(k, s1, loadFF)
+	s2 := cell.OutSlewPS(k, s1, loadFF)
+	return d1 + d2, s2
+}
+
+// PairDelayTable is the estimator-side counterpart of PairDelay: it uses
+// NLDM bilinear interpolation, as a Liberty-consuming tool would, and so
+// carries the characterization-grid interpolation error relative to the
+// golden model.
+func PairDelayTable(t *tech.Tech, cell *tech.Cell, k int, slewIn, loadFF float64) (delay, outSlew float64) {
+	internalC := InternalPairWireUM * t.WireC(k)
+	load1 := cell.InCap + internalC
+	d1 := cell.TableDelayPS(k, slewIn, load1)
+	s1 := cell.TableOutSlewPS(k, slewIn, load1)
+	d2 := cell.TableDelayPS(k, s1, loadFF)
+	s2 := cell.TableOutSlewPS(k, s1, loadFF)
+	return d1 + d2, s2
+}
+
+// netRC builds the per-corner RC tree of the net driven by node d, walking
+// the clock tree through transparent tap nodes. It returns the RC tree and
+// the rc-node index of every ctree node on the net (including taps).
+func (tm *Timer) netRC(tr *ctree.Tree, d ctree.NodeID, k int) (*rctree.RC, map[ctree.NodeID]int) {
+	rPer, cPer := tm.Tech.WireR(k), tm.Tech.WireC(k)
+	b := rctree.NewBuilder(0)
+	idx := map[ctree.NodeID]int{d: 0}
+	dn := tr.Node(d)
+	type item struct{ id, parent ctree.NodeID }
+	stack := make([]item, 0, len(dn.Children))
+	for _, c := range dn.Children {
+		stack = append(stack, item{c, d})
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := tr.Node(it.id)
+		if n == nil {
+			continue
+		}
+		p := tr.Node(it.parent)
+		length := p.Loc.Manhattan(n.Loc)
+		if tm.Cong != nil && length > 0 {
+			length *= tm.Cong.Factor(geom.Midpoint(p.Loc, n.Loc))
+		}
+		length += n.Detour
+		ni := b.AddWire(idx[it.parent], length, rPer, cPer)
+		idx[it.id] = ni
+		switch n.Kind {
+		case ctree.KindBuffer:
+			cell := tm.Tech.CellByName(n.CellName)
+			if cell == nil {
+				panic(fmt.Sprintf("sta: unknown cell %q at node %d", n.CellName, n.ID))
+			}
+			b.AddLoad(ni, cell.InCap)
+		case ctree.KindSink:
+			b.AddLoad(ni, tm.Tech.SinkCap)
+		case ctree.KindTap:
+			for _, c := range n.Children {
+				stack = append(stack, item{c, it.id})
+			}
+		}
+	}
+	return b.Done(), idx
+}
+
+// Analyze runs a full multi-corner timing pass over the tree.
+func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
+	k := tm.Tech.NumCorners()
+	n := len(tr.Nodes)
+	a := &Analysis{K: k, MaxLat: make([]float64, k)}
+	a.Arrive = make([][]float64, k)
+	a.Slew = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		a.Arrive[c] = make([]float64, n)
+		a.Slew[c] = make([]float64, n)
+		for i := range a.Arrive[c] {
+			a.Arrive[c][i] = math.NaN()
+			a.Slew[c][i] = math.NaN()
+		}
+		a.Arrive[c][tr.Source] = 0
+		a.Slew[c][tr.Source] = tm.SourceSlew
+	}
+	// Process driving nodes in topological order; Topo yields parents first,
+	// so a buffer's input arrival/slew are ready when it is reached.
+	for _, id := range tr.Topo() {
+		node := tr.Node(id)
+		if node.Kind != ctree.KindSource && node.Kind != ctree.KindBuffer {
+			continue
+		}
+		cell := tm.Tech.CellByName(node.CellName)
+		if cell == nil {
+			panic(fmt.Sprintf("sta: unknown cell %q at node %d", node.CellName, id))
+		}
+		for c := 0; c < k; c++ {
+			rc, idx := tm.netRC(tr, id, c)
+			load := rc.TotalCap()
+			slewIn := a.Slew[c][id]
+			dly, outSlew := PairDelay(tm.Tech, cell, c, slewIn, load)
+			m1, m2 := rc.Moments()
+			for nid, ri := range idx {
+				if nid == id {
+					continue
+				}
+				var wire float64
+				switch tm.Wire {
+				case WireElmore:
+					wire = m1[ri]
+				default:
+					wire = rctree.D2M(m1[ri], m2[ri])
+				}
+				at := a.Arrive[c][id] + dly + wire
+				a.Arrive[c][nid] = at
+				a.Slew[c][nid] = rctree.PERISlew(outSlew, rctree.StepSlew(m1[ri], m2[ri]))
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		for _, s := range tr.Sinks() {
+			if v := a.Arrive[c][s]; !math.IsNaN(v) && v > a.MaxLat[c] {
+				a.MaxLat[c] = v
+			}
+		}
+	}
+	return a
+}
+
+// Latency returns the arrival time of a sink at corner k.
+func (a *Analysis) Latency(k int, sink ctree.NodeID) float64 { return a.Arrive[k][sink] }
+
+// Skew returns latency(x) − latency(y) at corner k (launch minus capture).
+func (a *Analysis) Skew(k int, x, y ctree.NodeID) float64 {
+	return a.Arrive[k][x] - a.Arrive[k][y]
+}
+
+// MaxAbsSkew returns the local skew at corner k: the maximum |skew| over the
+// given sequentially adjacent pairs.
+func MaxAbsSkew(a *Analysis, k int, pairs []ctree.SinkPair) float64 {
+	var m float64
+	for _, p := range pairs {
+		if s := math.Abs(a.Skew(k, p.A, p.B)); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Alphas computes the per-corner normalization factors αk (α0 = 1): the
+// average skew-magnitude ratio between the nominal corner and corner k over
+// all pairs, per §3 of the paper. Corners with vanishing total skew fall
+// back to 1.
+func Alphas(a *Analysis, pairs []ctree.SinkPair) []float64 {
+	al := make([]float64, a.K)
+	var sum0 float64
+	for _, p := range pairs {
+		sum0 += math.Abs(a.Skew(0, p.A, p.B))
+	}
+	for k := 0; k < a.K; k++ {
+		var sk float64
+		for _, p := range pairs {
+			sk += math.Abs(a.Skew(k, p.A, p.B))
+		}
+		if sk < 1e-12 || sum0 < 1e-12 {
+			al[k] = 1
+		} else {
+			al[k] = sum0 / sk
+		}
+	}
+	al[0] = 1
+	return al
+}
+
+// PairVariation returns V_{i,i'}: the maximum over all corner pairs of the
+// normalized skew variation |αk·skew_k − αk'·skew_k'| (Eqs. (1)–(2)).
+func PairVariation(a *Analysis, alphas []float64, p ctree.SinkPair) float64 {
+	var v float64
+	for k := 0; k < a.K; k++ {
+		sk := alphas[k] * a.Skew(k, p.A, p.B)
+		for k2 := k + 1; k2 < a.K; k2++ {
+			s2 := alphas[k2] * a.Skew(k2, p.A, p.B)
+			if d := math.Abs(sk - s2); d > v {
+				v = d
+			}
+		}
+	}
+	return v
+}
+
+// SumVariation returns Σ V_{i,i'} over the pairs — the paper's objective
+// (reported in ns in Table 5; this returns ps).
+func SumVariation(a *Analysis, alphas []float64, pairs []ctree.SinkPair) float64 {
+	var s float64
+	for _, p := range pairs {
+		s += PairVariation(a, alphas, p)
+	}
+	return s
+}
+
+// SkewRatios returns skew_k/skew_0 for each pair whose nominal skew
+// magnitude exceeds minSkew — the Figure 9 distribution data.
+func SkewRatios(a *Analysis, k int, pairs []ctree.SinkPair, minSkew float64) []float64 {
+	var out []float64
+	for _, p := range pairs {
+		s0 := a.Skew(0, p.A, p.B)
+		if math.Abs(s0) < minSkew {
+			continue
+		}
+		out = append(out, a.Skew(k, p.A, p.B)/s0)
+	}
+	return out
+}
+
+// ArcDelays returns, for every arc of the segmentation, the per-corner arc
+// delay D_j^ck = arrival(bottom) − arrival(top) (the LP's base delays).
+func ArcDelays(a *Analysis, seg *ctree.Segmentation) [][]float64 {
+	out := make([][]float64, len(seg.Arcs))
+	for i, arc := range seg.Arcs {
+		row := make([]float64, a.K)
+		for k := 0; k < a.K; k++ {
+			top := a.Arrive[k][arc.Top]
+			if math.IsNaN(top) {
+				top = 0
+			}
+			row[k] = a.Arrive[k][arc.Bottom] - top
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Violations counts max-load and max-slew design-rule violations at the
+// nominal corner — used to assert the optimization "does not create any
+// maximum transition or maximum capacitance violations" (paper §5.2).
+func (tm *Timer) Violations(tr *ctree.Tree) (capViol, slewViol int) {
+	a := tm.Analyze(tr)
+	k := tm.Tech.Nominal
+	for _, id := range tr.Topo() {
+		n := tr.Node(id)
+		if n.Kind != ctree.KindSource && n.Kind != ctree.KindBuffer {
+			continue
+		}
+		rc, _ := tm.netRC(tr, id, k)
+		if rc.TotalCap() > tm.Tech.MaxLoad {
+			capViol++
+		}
+	}
+	for _, s := range tr.Sinks() {
+		if a.Slew[k][s] > tm.Tech.MaxSlew {
+			slewViol++
+		}
+	}
+	return capViol, slewViol
+}
+
+// NetLoad returns the total capacitive load (wire + pins) of the net driven
+// by node d at corner k. Exposed for the CTS buffer-insertion rules and the
+// ECO engine.
+func (tm *Timer) NetLoad(tr *ctree.Tree, d ctree.NodeID, k int) float64 {
+	rc, _ := tm.netRC(tr, d, k)
+	return rc.TotalCap()
+}
+
+// SkewGuard returns the acceptance ceiling for a local-skew value under the
+// "no degradation" constraint: the baseline plus a guard band of 1.5% (min
+// 2ps) that absorbs ECO realization and legalization noise. The paper
+// reports its no-degradation result at whole-picosecond table precision on
+// skews an order of magnitude larger; this band is the equivalent tolerance
+// at reproduction scale.
+func SkewGuard(base float64) float64 {
+	g := 0.015 * base
+	if g < 2 {
+		g = 2
+	}
+	return base + g
+}

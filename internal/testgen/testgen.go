@@ -1,0 +1,298 @@
+// Package testgen generates the benchmark designs of the paper's evaluation
+// (§5.1) and the artificial clock trees used to train the delta-latency
+// predictors (§4.2).
+//
+// Class CLS1 mimics a high-speed application processor: a rectangular block
+// with four identical 650µm×650µm interface-logic modules (ILMs) in the
+// corners, clustered register banks inside each ILM, and datapaths both
+// within and across ILMs. Class CLS2 mimics a memory controller: an L-shaped
+// block with the controller at the junction and interface logic in the two
+// arm ends, where control signals travel ≈1mm — the long launch-capture
+// separations that force the commercial tool into deep buffering and create
+// cross-corner skew variation.
+//
+// The paper's testcases carry 36K–270K flip-flops and are timed by
+// PrimeTime on servers; this reproduction generates the same floorplan
+// shapes at a configurable (default ~1.5K) flip-flop count so the full flow
+// runs in seconds. The substitution is documented in DESIGN.md §5.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/cts"
+	"skewvar/internal/geom"
+	"skewvar/internal/route"
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+)
+
+// Variant names one benchmark configuration (a row of Table 4).
+type Variant struct {
+	Name      string
+	Class     string // "CLS1" or "CLS2"
+	NumFFs    int
+	Seed      int64
+	Corners   []string // first entry must be the nominal corner
+	CellRatio int      // total placed cells per flip-flop (Table 4 context)
+	Util      float64
+}
+
+// CLS1v1 returns the first application-processor variant at the given
+// flip-flop count (0 selects the default 1400).
+func CLS1v1(nFFs int) Variant {
+	if nFFs <= 0 {
+		nFFs = 1400
+	}
+	return Variant{Name: "CLS1v1", Class: "CLS1", NumFFs: nFFs, Seed: 101,
+		Corners: []string{"c0", "c1", "c3"}, CellRatio: 11, Util: 0.62}
+}
+
+// CLS1v2 returns the second application-processor variant.
+func CLS1v2(nFFs int) Variant {
+	if nFFs <= 0 {
+		nFFs = 1350
+	}
+	return Variant{Name: "CLS1v2", Class: "CLS1", NumFFs: nFFs, Seed: 202,
+		Corners: []string{"c0", "c1", "c3"}, CellRatio: 11, Util: 0.60}
+}
+
+// CLS2v1 returns the memory-controller variant.
+func CLS2v1(nFFs int) Variant {
+	if nFFs <= 0 {
+		nFFs = 1800
+	}
+	return Variant{Name: "CLS2v1", Class: "CLS2", NumFFs: nFFs, Seed: 303,
+		Corners: []string{"c0", "c1", "c2"}, CellRatio: 7, Util: 0.58}
+}
+
+// Variants returns the three Table-4/Table-5 benchmark variants.
+func Variants(nFFs int) []Variant {
+	return []Variant{CLS1v1(nFFs), CLS1v2(nFFs), CLS2v1(nFFs)}
+}
+
+// Build generates the design: flip-flop placement, sequentially adjacent
+// pairs with synthetic criticalities, baseline CTS in both MCSM and MCMM
+// balancing modes (keeping the tree with the smaller variation, per §5.1),
+// and the golden timer (with the variant's congestion field) used for all
+// signoff in the flow.
+func Build(base *tech.Tech, v Variant) (*ctree.Design, *sta.Timer, error) {
+	view, err := base.SubCorners(v.Corners...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(v.Seed))
+
+	var die geom.Rect
+	var ffs []geom.Point
+	var rawPairs [][2]int
+	var crits []float64
+	var src geom.Point
+	switch v.Class {
+	case "CLS1":
+		die, src, ffs, rawPairs, crits = genCLS1(rng, v.NumFFs)
+	case "CLS2":
+		die, src, ffs, rawPairs, crits = genCLS2(rng, v.NumFFs)
+	default:
+		return nil, nil, fmt.Errorf("testgen: unknown class %q", v.Class)
+	}
+
+	tm := sta.New(view)
+	tm.Cong = route.NewCongestion(die, 16, 16, 0.18, uint64(v.Seed))
+
+	build := func(mcmm bool) (*ctree.Tree, float64, error) {
+		tr, err := cts.Synthesize(tm, die, src, ffs, cts.Options{MCMM: mcmm})
+		if err != nil {
+			return nil, 0, err
+		}
+		pairs := resolvePairs(tr, rawPairs, crits)
+		a := tm.Analyze(tr)
+		al := sta.Alphas(a, pairs)
+		return tr, sta.SumVariation(a, al, pairs), nil
+	}
+	trS, varS, err := build(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	trM, varM, err := build(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := trS
+	if varM < varS {
+		tr = trM
+	}
+	d := &ctree.Design{
+		Name:        v.Name,
+		Tree:        tr,
+		Pairs:       resolvePairs(tr, rawPairs, crits),
+		Die:         die,
+		NumCells:    v.NumFFs * v.CellRatio,
+		Util:        v.Util,
+		CornerNames: append([]string(nil), v.Corners...),
+	}
+	return d, tm, nil
+}
+
+// resolvePairs maps raw FF-index pairs to the sink NodeIDs the CTS assigned
+// (sinks are named "ff<i>").
+func resolvePairs(tr *ctree.Tree, raw [][2]int, crit []float64) []ctree.SinkPair {
+	byName := make(map[string]ctree.NodeID)
+	for _, s := range tr.Sinks() {
+		byName[tr.Node(s).Name] = s
+	}
+	out := make([]ctree.SinkPair, 0, len(raw))
+	for i, p := range raw {
+		a, okA := byName[fmt.Sprintf("ff%d", p[0])]
+		b, okB := byName[fmt.Sprintf("ff%d", p[1])]
+		if okA && okB && a != b {
+			out = append(out, ctree.SinkPair{A: a, B: b, Crit: crit[i]})
+		}
+	}
+	return out
+}
+
+// genCLS1 lays out the application-processor block: four ILMs in the die
+// corners with clustered register banks, plus scattered glue logic.
+func genCLS1(rng *rand.Rand, nFFs int) (die geom.Rect, src geom.Point, ffs []geom.Point, pairs [][2]int, crit []float64) {
+	const dieW, dieH = 1817.0, 1817.0
+	const ilmW, margin = 650.0, 45.0
+	die = geom.NewRect(geom.Pt(0, 0), geom.Pt(dieW, dieH))
+	src = geom.Pt(dieW/2, 0) // clock port at the bottom edge
+	ilms := []geom.Rect{
+		geom.NewRect(geom.Pt(margin, margin), geom.Pt(margin+ilmW, margin+ilmW)),
+		geom.NewRect(geom.Pt(dieW-margin-ilmW, margin), geom.Pt(dieW-margin, margin+ilmW)),
+		geom.NewRect(geom.Pt(margin, dieH-margin-ilmW), geom.Pt(margin+ilmW, dieH-margin)),
+		geom.NewRect(geom.Pt(dieW-margin-ilmW, dieH-margin-ilmW), geom.Pt(dieW-margin, dieH-margin)),
+	}
+	perILM := int(float64(nFFs) * 0.85 / 4)
+	ilmOf := make([]int, 0, nFFs)
+	for im, r := range ilms {
+		// Register banks: gaussian clusters inside the ILM.
+		nBanks := 5 + rng.Intn(4)
+		banks := make([]geom.Point, nBanks)
+		for b := range banks {
+			banks[b] = geom.Pt(
+				r.Lo.X+rng.Float64()*r.W(),
+				r.Lo.Y+rng.Float64()*r.H(),
+			)
+		}
+		for i := 0; i < perILM; i++ {
+			c := banks[rng.Intn(nBanks)]
+			p := geom.Pt(c.X+rng.NormFloat64()*55, c.Y+rng.NormFloat64()*55)
+			ffs = append(ffs, r.Clamp(p))
+			ilmOf = append(ilmOf, im)
+		}
+	}
+	for len(ffs) < nFFs { // glue logic anywhere on the die
+		ffs = append(ffs, geom.Pt(rng.Float64()*dieW, rng.Float64()*dieH))
+		ilmOf = append(ilmOf, -1)
+	}
+	pairs, crit = genPairs(rng, ffs, ilmOf, 2.0, 0.06)
+	return die, src, ffs, pairs, crit
+}
+
+// genCLS2 lays out the L-shaped memory controller: controller FFs at the
+// junction, interface FFs at the two arm ends, long control paths between.
+func genCLS2(rng *rand.Rand, nFFs int) (die geom.Rect, src geom.Point, ffs []geom.Point, pairs [][2]int, crit []float64) {
+	// L-shape: bottom arm 3200×900, left arm 900×1800 above it (≈4.5mm²).
+	die = geom.NewRect(geom.Pt(0, 0), geom.Pt(3200, 2700))
+	src = geom.Pt(450, 0)
+	controller := geom.NewRect(geom.Pt(0, 0), geom.Pt(1250, 900))
+	armTop := geom.NewRect(geom.Pt(0, 1850), geom.Pt(900, 2700))
+	armRight := geom.NewRect(geom.Pt(2350, 0), geom.Pt(3200, 900))
+	leftArm := geom.NewRect(geom.Pt(0, 900), geom.Pt(900, 1850)) // connective region
+	regions := []struct {
+		r    geom.Rect
+		frac float64
+		tag  int
+	}{
+		{controller, 0.50, 0},
+		{armTop, 0.20, 1},
+		{armRight, 0.20, 2},
+		{leftArm, 0.10, 3},
+	}
+	tag := make([]int, 0, nFFs)
+	for _, reg := range regions {
+		n := int(float64(nFFs) * reg.frac)
+		for i := 0; i < n; i++ {
+			ffs = append(ffs, geom.Pt(
+				reg.r.Lo.X+rng.Float64()*reg.r.W(),
+				reg.r.Lo.Y+rng.Float64()*reg.r.H(),
+			))
+			tag = append(tag, reg.tag)
+		}
+	}
+	for len(ffs) < nFFs {
+		ffs = append(ffs, geom.Pt(rng.Float64()*1250, rng.Float64()*900))
+		tag = append(tag, 0)
+	}
+	pairs, crit = genPairs(rng, ffs, tag, 1.6, 0.12)
+	return die, src, ffs, pairs, crit
+}
+
+// genPairs builds sequentially adjacent launch/capture pairs: local pairs
+// between geometric neighbours within each region plus crossFrac·n
+// cross-region pairs (the long paths). Criticality grows with separation —
+// standing in for the paper's setup/hold slack ranking.
+func genPairs(rng *rand.Rand, ffs []geom.Point, region []int, localPerFF float64, crossFrac float64) (pairs [][2]int, crit []float64) {
+	n := len(ffs)
+	// Bucket FFs on a coarse grid for neighbour lookup.
+	const cell = 120.0
+	buckets := make(map[[2]int][]int)
+	keyOf := func(p geom.Point) [2]int {
+		return [2]int{int(p.X / cell), int(p.Y / cell)}
+	}
+	for i, p := range ffs {
+		k := keyOf(p)
+		buckets[k] = append(buckets[k], i)
+	}
+	seen := make(map[[2]int]bool)
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		d := ffs[a].Manhattan(ffs[b])
+		pairs = append(pairs, [2]int{a, b})
+		crit = append(crit, 0.35*rng.Float64()+0.65*minF(1, d/1200))
+	}
+	nLocal := int(localPerFF * float64(n))
+	for t := 0; t < nLocal; t++ {
+		a := rng.Intn(n)
+		k := keyOf(ffs[a])
+		k[0] += rng.Intn(3) - 1
+		k[1] += rng.Intn(3) - 1
+		cands := buckets[k]
+		if len(cands) == 0 {
+			continue
+		}
+		add(a, cands[rng.Intn(len(cands))])
+	}
+	nCross := int(crossFrac * float64(n))
+	for t := 0; t < nCross*4 && nCross > 0; t++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if region[a] != region[b] && region[a] >= 0 && region[b] >= 0 {
+			add(a, b)
+			nCross--
+		}
+	}
+	return pairs, crit
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package testgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+)
+
+func TestVariantDescriptors(t *testing.T) {
+	vs := Variants(0)
+	if len(vs) != 3 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+		if v.NumFFs <= 0 || len(v.Corners) != 3 || v.Corners[0] != "c0" {
+			t.Errorf("bad variant %+v", v)
+		}
+	}
+	for _, n := range []string{"CLS1v1", "CLS1v2", "CLS2v1"} {
+		if !names[n] {
+			t.Errorf("missing %s", n)
+		}
+	}
+	if CLS1v1(500).NumFFs != 500 {
+		t.Error("FF override ignored")
+	}
+	// CLS1 uses c3 (hold corner), CLS2 uses c2, per Table 4.
+	if CLS1v1(0).Corners[2] != "c3" || CLS2v1(0).Corners[2] != "c2" {
+		t.Error("corner sets wrong")
+	}
+}
+
+func TestBuildSmallCLS1(t *testing.T) {
+	base := tech.Default28nm()
+	v := CLS1v1(240)
+	d, tm, err := Build(base, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Tree.Sinks()); got != 240 {
+		t.Errorf("sinks = %d", got)
+	}
+	if len(d.Pairs) < 100 {
+		t.Errorf("pairs = %d, too few", len(d.Pairs))
+	}
+	if tm.Tech.NumCorners() != 3 {
+		t.Errorf("timer corners = %d", tm.Tech.NumCorners())
+	}
+	// Pairs reference live sinks.
+	for _, p := range d.Pairs {
+		if d.Tree.Node(p.A) == nil || d.Tree.Node(p.B) == nil {
+			t.Fatal("pair references missing sink")
+		}
+		if d.Tree.Node(p.A).Kind != ctree.KindSink {
+			t.Fatal("pair endpoint not a sink")
+		}
+	}
+	// The original tree must exhibit non-zero skew variation (the paper's
+	// starting condition).
+	a := tm.Analyze(d.Tree)
+	al := sta.Alphas(a, d.Pairs)
+	sv := sta.SumVariation(a, al, d.Pairs)
+	if sv <= 0 {
+		t.Errorf("original variation = %v, want > 0", sv)
+	}
+	// α1 < 1 (c1 slower), α2 (=c3) > 1.
+	if !(al[1] < 1 && al[2] > 1) {
+		t.Errorf("alphas = %v", al)
+	}
+}
+
+func TestBuildSmallCLS2(t *testing.T) {
+	base := tech.Default28nm()
+	d, tm, err := Build(base, CLS2v1(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Tree.Sinks()); got != 300 {
+		t.Errorf("sinks = %d", got)
+	}
+	// Long cross-region pairs must exist (≈1mm separations).
+	var foundLong bool
+	for _, p := range d.Pairs {
+		if d.Tree.Node(p.A).Loc.Manhattan(d.Tree.Node(p.B).Loc) > 900 {
+			foundLong = true
+			break
+		}
+	}
+	if !foundLong {
+		t.Error("no long launch-capture pairs in CLS2")
+	}
+	cv, sv := tm.Violations(d.Tree)
+	if cv != 0 || sv != 0 {
+		t.Errorf("CTS violations: cap=%d slew=%d", cv, sv)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	base := tech.Default28nm()
+	d1, _, err := Build(base, CLS1v1(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := Build(base, CLS1v1(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Tree.NumNodes() != d2.Tree.NumNodes() || len(d1.Pairs) != len(d2.Pairs) {
+		t.Fatal("builds differ")
+	}
+	for i := range d1.Pairs {
+		if d1.Pairs[i] != d2.Pairs[i] {
+			t.Fatal("pair lists differ")
+		}
+	}
+}
+
+func TestBuildUnknownClass(t *testing.T) {
+	base := tech.Default28nm()
+	_, _, err := Build(base, Variant{Name: "x", Class: "CLS9", NumFFs: 10,
+		Corners: []string{"c0", "c1"}})
+	if err == nil {
+		t.Error("unknown class accepted")
+	}
+	_, _, err = Build(base, Variant{Name: "x", Class: "CLS1", NumFFs: 10,
+		Corners: []string{"bogus"}})
+	if err == nil {
+		t.Error("unknown corner accepted")
+	}
+}
+
+func TestCriticalityFavorsLongPairs(t *testing.T) {
+	base := tech.Default28nm()
+	d, _, err := Build(base, CLS2v1(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average criticality of >900µm pairs must exceed that of <150µm pairs.
+	var longSum, shortSum float64
+	var nLong, nShort int
+	for _, p := range d.Pairs {
+		dist := d.Tree.Node(p.A).Loc.Manhattan(d.Tree.Node(p.B).Loc)
+		if dist > 900 {
+			longSum += p.Crit
+			nLong++
+		} else if dist < 150 {
+			shortSum += p.Crit
+			nShort++
+		}
+	}
+	if nLong == 0 || nShort == 0 {
+		t.Skip("distribution too thin")
+	}
+	if longSum/float64(nLong) <= shortSum/float64(nShort) {
+		t.Error("long pairs not more critical on average")
+	}
+}
+
+func TestNewTrainingCaseSpecCompliance(t *testing.T) {
+	th := tech.Default28nm()
+	rng := rand.New(rand.NewSource(55))
+	tm := sta.New(th)
+	sawLast, sawMid := false, false
+	for i := 0; i < 30; i++ {
+		tc := NewTrainingCase(th, rng)
+		if err := tc.Tree.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		fan := len(tc.Tree.FanoutPins(tc.Target))
+		switch {
+		case fan >= 20 && fan <= 40:
+			sawLast = true
+		case fan >= 1 && fan <= 5:
+			sawMid = true
+		default:
+			t.Fatalf("case %d: target fanout %d outside paper spec", i, fan)
+		}
+		// Timeable at every corner with finite latencies.
+		a := tm.Analyze(tc.Tree)
+		for k := 0; k < a.K; k++ {
+			for _, s := range tc.Tree.Sinks() {
+				if math.IsNaN(a.Latency(k, s)) || a.Latency(k, s) <= 0 {
+					t.Fatalf("case %d: bad latency at corner %d", i, k)
+				}
+			}
+		}
+	}
+	if !sawLast || !sawMid {
+		t.Error("training generator did not produce both last-stage and intermediate cases")
+	}
+}

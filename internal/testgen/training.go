@@ -1,0 +1,78 @@
+package testgen
+
+import (
+	"math"
+	"math/rand"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/cts"
+	"skewvar/internal/geom"
+	"skewvar/internal/tech"
+)
+
+// TrainingCase is one artificial clock (sub)tree used to train the
+// delta-latency models, built per the paper's recipe: fanouts of 1–5 for
+// intermediate buffers (20–40 for last-stage buffers), driven-pin bounding
+// boxes of 1000–8000 µm² with aspect ratio 0.5–1, fanout cells placed
+// randomly within the box.
+type TrainingCase struct {
+	Tree   *ctree.Tree
+	Target ctree.NodeID // the buffer whose moves are sampled
+	Die    geom.Rect
+}
+
+// NewTrainingCase generates one artificial testcase from the RNG. The
+// returned tree is valid and timeable at every corner of the technology.
+func NewTrainingCase(t *tech.Tech, rng *rand.Rand) TrainingCase {
+	die := geom.NewRect(geom.Pt(0, 0), geom.Pt(420, 420))
+	tr := ctree.NewTree(geom.Pt(10, 10), "CKINVX16")
+
+	// Upstream chain: 1–2 buffers between source and the target buffer.
+	parent := tr.Source
+	chain := 1 + rng.Intn(2)
+	loc := geom.Pt(60, 60)
+	cells := t.Cells
+	for i := 0; i < chain; i++ {
+		loc = geom.Pt(loc.X+30+rng.Float64()*40, loc.Y+30+rng.Float64()*40)
+		b := tr.AddNode(ctree.KindBuffer, loc, cells[2+rng.Intn(len(cells)-2)].Name, parent)
+		parent = b.ID
+	}
+
+	// The driven-pin bounding box (paper: 1000–8000 µm², AR 0.5–1).
+	area := 1000 + rng.Float64()*7000
+	ar := 0.5 + rng.Float64()*0.5
+	w := math.Sqrt(area / ar)
+	h := area / w
+	origin := geom.Pt(loc.X+20, loc.Y+20)
+	box := geom.NewRect(origin, geom.Pt(origin.X+w, origin.Y+h))
+
+	target := tr.AddNode(ctree.KindBuffer, box.Center(),
+		cells[1+rng.Intn(len(cells)-1)].Name, parent)
+
+	randIn := func(r geom.Rect) geom.Point {
+		return geom.Pt(r.Lo.X+rng.Float64()*r.W(), r.Lo.Y+rng.Float64()*r.H())
+	}
+	if rng.Float64() < 0.5 {
+		// Last-stage buffer: 20–40 sinks.
+		n := 20 + rng.Intn(21)
+		for i := 0; i < n; i++ {
+			tr.AddNode(ctree.KindSink, randIn(box), "", target.ID)
+		}
+	} else {
+		// Intermediate buffer: 1–5 child buffers, each with a small load.
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			cb := tr.AddNode(ctree.KindBuffer, randIn(box),
+				cells[rng.Intn(3)].Name, target.ID)
+			m := 2 + rng.Intn(5)
+			sub := geom.NewRect(cb.Loc, geom.Pt(cb.Loc.X+40, cb.Loc.Y+40))
+			for j := 0; j < m; j++ {
+				tr.AddNode(ctree.KindSink, randIn(sub), "", cb.ID)
+			}
+		}
+	}
+	// Real routers share trunks: convert star nets to Steiner (tap)
+	// topologies, exactly as the baseline CTS does on real designs.
+	cts.SteinerizeNets(tr)
+	return TrainingCase{Tree: tr, Target: target.ID, Die: die.Union(geom.NewRect(geom.Pt(0, 0), geom.Pt(box.Hi.X+80, box.Hi.Y+80)))}
+}
