@@ -1,0 +1,26 @@
+# Developer entry points. `make tier1` is the gate a change must pass:
+# vet + build + the full test suite, then the suite again under the race
+# detector in -short mode (which still runs a real optimization flow via
+# the core stage-subset test, just not the multi-minute matrices).
+
+GO ?= go
+
+.PHONY: tier1 vet build test race fuzz
+
+tier1: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# 30-second fuzz pass over the design reader's validation layer.
+fuzz:
+	$(GO) test ./internal/edaio/ -run '^$$' -fuzz FuzzReadDesign -fuzztime 30s

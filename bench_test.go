@@ -12,6 +12,7 @@ package skewvar
 // (DESIGN.md §5); pass -timeout 0 for comfort on slow machines.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -131,7 +132,7 @@ func benchTable5One(b *testing.B, variant string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fr, err := core.RunFlows(env.Timer, ch, env.Design, model, core.FlowConfig{
+		fr, err := core.RunFlows(context.Background(), env.Timer, ch, env.Design, model, core.FlowConfig{
 			TopPairs: cfg.TopPairs,
 			Local:    core.LocalConfig{MaxIters: cfg.LocalIters, Seed: cfg.Seed},
 		})
@@ -198,13 +199,13 @@ func BenchmarkAblationFreeDeltaLP(b *testing.B) {
 	alphas := sta.Alphas(a0, pairs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		param, err := core.GlobalOpt(env.Timer, ch, env.Design, alphas, core.GlobalConfig{
+		param, err := core.GlobalOpt(context.Background(), env.Timer, ch, env.Design, alphas, core.GlobalConfig{
 			TopPairs: cfg.TopPairs,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		free, err := core.GlobalOpt(env.Timer, ch, env.Design, alphas, core.GlobalConfig{
+		free, err := core.GlobalOpt(context.Background(), env.Timer, ch, env.Design, alphas, core.GlobalConfig{
 			TopPairs: cfg.TopPairs, FreeDelta: true,
 		})
 		if err != nil {
@@ -237,7 +238,7 @@ func BenchmarkAblationLocalGuidance(b *testing.B) {
 	a0 := env.Timer.Analyze(env.Design.Tree)
 	alphas := sta.Alphas(a0, pairs)
 	run := func(m core.StageModel, random bool) *core.LocalResult {
-		res, err := core.LocalOpt(env.Timer, env.Design, alphas, core.LocalConfig{
+		res, err := core.LocalOpt(context.Background(), env.Timer, env.Design, alphas, core.LocalConfig{
 			Model: m, TopPairs: cfg.TopPairs, MaxIters: cfg.LocalIters,
 			Seed: cfg.Seed, Random: random,
 		})
@@ -491,7 +492,7 @@ func BenchmarkExtensionWorseStart(b *testing.B) {
 		}
 		d := &ctree.Design{Name: "worsestart", Tree: tr, Pairs: pairs, Die: die,
 			CornerNames: []string{"c0", "c1", "c3"}}
-		fr, err := core.RunFlows(tm, ch, d, model, core.FlowConfig{
+		fr, err := core.RunFlows(context.Background(), tm, ch, d, model, core.FlowConfig{
 			TopPairs: cfg.TopPairs,
 			Local:    core.LocalConfig{MaxIters: cfg.LocalIters, Seed: cfg.Seed},
 		})
@@ -539,7 +540,7 @@ func BenchmarkExtensionFixCostBenefit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.LocalOpt(env.Timer, env.Design, alphas, core.LocalConfig{
+		res, err := core.LocalOpt(context.Background(), env.Timer, env.Design, alphas, core.LocalConfig{
 			Model: model, TopPairs: cfg.TopPairs, MaxIters: cfg.LocalIters, Seed: cfg.Seed,
 		})
 		if err != nil {
@@ -580,13 +581,13 @@ func BenchmarkAblationLocalBudget(b *testing.B) {
 	alphas := sta.Alphas(a0, pairs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := core.GlobalOpt(env.Timer, ch, env.Design, alphas, core.GlobalConfig{
+		g, err := core.GlobalOpt(context.Background(), env.Timer, ch, env.Design, alphas, core.GlobalConfig{
 			TopPairs: cfg.TopPairs, MaxPairsPerLP: cfg.TopPairs,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		budgeted, err := core.LocalOpt(env.Timer, env.Design, alphas, core.LocalConfig{
+		budgeted, err := core.LocalOpt(context.Background(), env.Timer, env.Design, alphas, core.LocalConfig{
 			Model: model, TopPairs: cfg.TopPairs, MaxIters: 3, Seed: cfg.Seed,
 		})
 		if err != nil {

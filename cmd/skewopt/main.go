@@ -6,20 +6,41 @@
 //
 //	skewopt -design cls1v1.json -flow global-local -model models.json -o optimized.json
 //	skewopt -case CLS1v1 -ffs 420 -flow all
+//	skewopt -case CLS1v1 -flow all -checkpoint run.ckpt -timeout 10m
+//	skewopt -case CLS1v1 -flow all -checkpoint run.ckpt -resume
+//
+// Exit codes: 0 success, 1 flow failure, 2 usage error, 3 interrupted
+// (signal or -timeout; a -checkpoint file, if enabled, holds the progress).
+// A run that survived faults prints a DEGRADED warning line on stderr with
+// per-class fault counts and still exits 0 — the result is valid, just not
+// everything the flow attempted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"skewvar/internal/core"
 	"skewvar/internal/ctree"
 	"skewvar/internal/edaio"
 	"skewvar/internal/exp"
+	"skewvar/internal/faults"
 	"skewvar/internal/report"
+	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 	"skewvar/internal/testgen"
+)
+
+const (
+	exitFlowFailure = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -31,11 +52,54 @@ func main() {
 	pairs := flag.Int("pairs", 300, "top critical pairs in the objective")
 	iters := flag.Int("iters", 12, "local-optimization iteration cap")
 	out := flag.String("o", "", "write the optimized design JSON here")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for periodic progress saves")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file")
+	ckptEvery := flag.Int("checkpoint-every", 1, "local iterations between checkpoint saves")
+	timeout := flag.Duration("timeout", 0, "overall flow deadline (0 = none)")
+	faultSpec := flag.String("faults", "", "deterministic fault injection spec, e.g. 'lp-solve:first=1,checkpoint-write:p=0.5' (testing)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	flag.Parse()
+
+	// Context: Ctrl-C / SIGTERM and -timeout both cancel the flow at the
+	// next iteration boundary; the best-so-far result is still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var stages []string
+	switch *flow {
+	case "all":
+		stages = nil // all three
+	case "global", "local", "global-local":
+		stages = []string{*flow}
+	default:
+		usagef("unknown flow %q (want global, local, global-local or all)", *flow)
+	}
+	inj, err := faults.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		usagef("bad -faults spec: %v", err)
+	}
+	if *resume && *checkpoint == "" {
+		usagef("-resume needs -checkpoint")
+	}
 
 	d, tm := loadDesign(*designPath, *caseName, *ffs)
 	_, ch := exp.Technology()
 	model := loadModel(*modelPath)
+
+	var cp *core.Checkpoint
+	if *resume {
+		cp, err = core.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			fatalf("resume: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "skewopt: resuming from %s (done: %v, stage %q at iter %d)\n",
+			*checkpoint, cp.Done, cp.Stage, cp.Iter)
+	}
 
 	pairSet := d.TopPairs(*pairs)
 	a0 := tm.Analyze(d.Tree)
@@ -43,69 +107,73 @@ func main() {
 	fmt.Printf("design %s: %d sinks, %d pairs (top %d used), alphas %.3v\n",
 		d.Name, len(d.Tree.Sinks()), len(d.Pairs), len(pairSet), alphas)
 
+	res, err := core.RunFlows(ctx, tm, ch, d, model, core.FlowConfig{
+		TopPairs: *pairs,
+		Global:   core.GlobalConfig{MaxPairsPerLP: *pairs},
+		Local:    core.LocalConfig{MaxIters: *iters},
+		Only:     stages,
+		Faults:   inj,
+		Checkpoint: core.CheckpointConfig{
+			Path:       *checkpoint,
+			EveryIters: *ckptEvery,
+		},
+		Resume: cp,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "skewopt: "+format+"\n", args...)
+		},
+	})
+	interrupted := errors.Is(err, resilience.ErrCanceled)
+	if err != nil && !interrupted {
+		fatalf("flows: %v", err)
+	}
+	if res == nil {
+		fatalf("flows returned no result")
+	}
+
 	tb := &report.Table{
 		Title:   "skew variation results",
 		Headers: []string{"Flow", "Variation(ps)", "[norm]", "Skew@c0", "Skew@c1", "Skew@c2/3", "#Cells", "Power(mW)"},
 	}
-	orig := core.Snapshot(tm, d.Tree, pairSet, alphas)
-	orig.Norm = 1
-	addRow(tb, "orig", orig)
-
-	var final *ctree.Tree
-	switch *flow {
-	case "all":
-		res, err := core.RunFlows(tm, ch, d, model, core.FlowConfig{
-			TopPairs: *pairs,
-			Global:   core.GlobalConfig{MaxPairsPerLP: *pairs},
-			Local:    core.LocalConfig{MaxIters: *iters},
-		})
-		if err != nil {
-			fatalf("flows: %v", err)
+	addRow(tb, "orig", res.Orig)
+	final := res.Trees["orig"]
+	for _, stage := range core.FlowStages {
+		tree, ok := res.Trees[stage]
+		if !ok {
+			continue
 		}
-		addRow(tb, "global", res.Global)
-		addRow(tb, "local", res.Local)
-		addRow(tb, "global-local", res.GLocal)
-		final = res.Trees["global-local"]
-	case "global", "local", "global-local":
-		tree := d.Tree
-		if *flow == "global" || *flow == "global-local" {
-			g, err := core.GlobalOpt(tm, ch, d, alphas, core.GlobalConfig{TopPairs: *pairs, MaxPairsPerLP: *pairs})
-			if err != nil {
-				fatalf("global: %v", err)
-			}
-			tree = g.Tree
+		var m core.Metrics
+		switch stage {
+		case "global":
+			m = res.Global
+		case "local":
+			m = res.Local
+		case "global-local":
+			m = res.GLocal
 		}
-		if *flow == "local" || *flow == "global-local" {
-			dl := d.Clone()
-			dl.Tree = tree.Clone()
-			l, err := core.LocalOpt(tm, dl, alphas, core.LocalConfig{
-				Model: model, TopPairs: *pairs, MaxIters: *iters,
-			})
-			if err != nil {
-				fatalf("local: %v", err)
-			}
-			tree = l.Tree
-		}
-		m := core.Snapshot(tm, tree, pairSet, alphas)
-		m.Norm = m.SumVarPS / orig.SumVarPS
-		addRow(tb, *flow, m)
+		addRow(tb, stage, m)
 		final = tree
-	default:
-		fatalf("unknown flow %q", *flow)
 	}
 	fmt.Println(tb.Render())
 
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "skewopt: DEGRADED: flow absorbed faults (%s); result is valid but reduced\n",
+			resilience.FormatCounts(res.Faults))
+	}
 	if *out != "" && final != nil {
 		od := d.Clone()
 		od.Tree = final
-		f, err := os.Create(*out)
-		if err != nil {
-			fatalf("creating %s: %v", *out, err)
-		}
-		defer f.Close()
-		if err := edaio.WriteDesign(f, od); err != nil {
+		if err := edaio.AtomicWriteFile(*out, func(w io.Writer) error {
+			return edaio.WriteDesign(w, od)
+		}); err != nil {
 			fatalf("writing optimized design: %v", err)
 		}
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "skewopt: interrupted (%v); best-so-far result reported above\n", err)
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "skewopt: rerun with -resume to continue from %s\n", *checkpoint)
+		}
+		os.Exit(exitInterrupted)
 	}
 }
 
@@ -128,7 +196,9 @@ func loadDesign(path, caseName string, ffs int) (*ctree.Design, *sta.Timer) {
 			fatalf("opening %s: %v", path, err)
 		}
 		defer f.Close()
-		d, err := edaio.ReadDesign(f)
+		d, err := edaio.ReadDesign(f, edaio.WithCells(func(name string) bool {
+			return base.CellByName(name) != nil
+		}))
 		if err != nil {
 			fatalf("reading design: %v", err)
 		}
@@ -147,7 +217,7 @@ func loadDesign(path, caseName string, ffs int) (*ctree.Design, *sta.Timer) {
 	case "CLS2v1":
 		v = testgen.CLS2v1(ffs)
 	default:
-		fatalf("need -design or a valid -case (got %q)", caseName)
+		usagef("need -design or a valid -case (got %q)", caseName)
 	}
 	d, tm, err := testgen.Build(base, v)
 	if err != nil {
@@ -182,5 +252,10 @@ func loadModel(path string) *core.MLStageModel {
 
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "skewopt: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(exitFlowFailure)
+}
+
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "skewopt: "+format+"\n", args...)
+	os.Exit(exitUsage)
 }

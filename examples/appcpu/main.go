@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	v0 := sta.SumVariation(a, alphas, pairs)
 	fmt.Printf("original ΣV = %.0f ps\n\n", v0)
 
-	res, err := core.GlobalOpt(timer, char, design, alphas, core.GlobalConfig{
+	res, err := core.GlobalOpt(context.Background(), timer, char, design, alphas, core.GlobalConfig{
 		TopPairs:      240,
 		MaxPairsPerLP: 240,
 		USweep:        []float64{0.8, 0.6},

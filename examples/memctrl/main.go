@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.LocalOpt(timer, design, alphas, core.LocalConfig{
+	res, err := core.LocalOpt(context.Background(), timer, design, alphas, core.LocalConfig{
 		Model: model, TopPairs: 240, MaxIters: 8, Seed: 1,
 	})
 	if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 
 	// 4. The framework: LP-guided global optimization followed by the
 	//    model-guided local iterative optimization (Algorithms 1 and 2).
-	res, err := core.RunFlows(timer, char, design, model, core.FlowConfig{
+	res, err := core.RunFlows(context.Background(), timer, char, design, model, core.FlowConfig{
 		TopPairs: 150,
 		Local:    core.LocalConfig{MaxIters: 6, Seed: 1},
 	})

@@ -4,6 +4,7 @@
 package clitest
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -64,6 +65,83 @@ func TestGentestAndSkewoptPipeline(t *testing.T) {
 	if st, err := os.Stat(outDesign); err != nil || st.Size() == 0 {
 		t.Fatal("optimized design missing")
 	}
+}
+
+// runBin executes a prebuilt binary and returns combined output and exit
+// code (-1 if the process failed to start).
+func runBin(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+// TestSkewoptRobustnessCLI checks the hardened runner's CLI contract: the
+// documented exit codes, the DEGRADED warning under fault injection, and the
+// interrupt → checkpoint → resume loop.
+func TestSkewoptRobustnessCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "skewopt")
+	run(t, root, "build", "-o", bin, "./cmd/skewopt")
+	model := filepath.Join(tmp, "m.json")
+	run(t, root, "run", "./cmd/trainml", "-kind", "ridge", "-cases", "6",
+		"-moves", "6", "-eval=false", "-o", model)
+	base := []string{"-case", "CLS1v1", "-ffs", "120", "-model", model,
+		"-flow", "local", "-pairs", "100", "-iters", "2"}
+
+	t.Run("usage-errors-exit-2", func(t *testing.T) {
+		if out, code := runBin(t, bin, "-flow", "sideways"); code != 2 {
+			t.Errorf("unknown flow: exit %d, want 2\n%s", code, out)
+		}
+		if out, code := runBin(t, bin, "-resume"); code != 2 {
+			t.Errorf("-resume without -checkpoint: exit %d, want 2\n%s", code, out)
+		}
+		if out, code := runBin(t, bin, append([]string{"-faults", "no-such-hook"}, base...)...); code != 2 {
+			t.Errorf("bad fault spec: exit %d, want 2\n%s", code, out)
+		}
+	})
+
+	t.Run("faults-degrade-exit-0", func(t *testing.T) {
+		out, code := runBin(t, bin, append([]string{"-faults", "move-apply"}, base...)...)
+		if code != 0 {
+			t.Fatalf("degraded run: exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "DEGRADED") || !strings.Contains(out, "move-apply") {
+			t.Errorf("DEGRADED warning with fault counts missing:\n%s", out)
+		}
+	})
+
+	t.Run("timeout-checkpoint-resume", func(t *testing.T) {
+		ckpt := filepath.Join(tmp, "run.ckpt")
+		out, code := runBin(t, bin, append([]string{"-checkpoint", ckpt, "-timeout", "1ns"}, base...)...)
+		if code != 3 {
+			t.Fatalf("timed-out run: exit %d, want 3\n%s", code, out)
+		}
+		if !strings.Contains(out, "-resume") {
+			t.Errorf("interrupt output missing resume hint:\n%s", out)
+		}
+		if st, err := os.Stat(ckpt); err != nil || st.Size() == 0 {
+			t.Fatalf("no checkpoint written on interrupt")
+		}
+		out, code = runBin(t, bin, append([]string{"-checkpoint", ckpt, "-resume"}, base...)...)
+		if code != 0 {
+			t.Fatalf("resumed run: exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "resuming from") || !strings.Contains(out, "local") {
+			t.Errorf("resumed run output unexpected:\n%s", out)
+		}
+	})
 }
 
 func TestCharlutCLI(t *testing.T) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -204,7 +205,7 @@ func TestLocalOptImproves(t *testing.T) {
 	a0 := tm.Analyze(d.Tree)
 	pairs := d.TopPairs(0)
 	alphas := sta.Alphas(a0, pairs)
-	res, err := LocalOpt(tm, d, alphas, LocalConfig{
+	res, err := LocalOpt(context.Background(), tm, d, alphas, LocalConfig{
 		Model: model, MaxIters: 6, MaxMoves: 800, Seed: 5,
 	})
 	if err != nil {
@@ -238,11 +239,11 @@ func TestLocalOptImproves(t *testing.T) {
 
 func TestLocalOptErrors(t *testing.T) {
 	d, tm := smallDesign(t, 150)
-	if _, err := LocalOpt(tm, d, []float64{1, 1, 1}, LocalConfig{}); err == nil {
+	if _, err := LocalOpt(context.Background(), tm, d, []float64{1, 1, 1}, LocalConfig{}); err == nil {
 		t.Error("missing model accepted")
 	}
 	bad := &MLStageModel{Kind: "x"}
-	if _, err := LocalOpt(tm, d, []float64{1, 1, 1}, LocalConfig{Model: bad}); err == nil {
+	if _, err := LocalOpt(context.Background(), tm, d, []float64{1, 1, 1}, LocalConfig{Model: bad}); err == nil {
 		t.Error("under-provisioned model accepted")
 	}
 }
@@ -253,7 +254,7 @@ func TestGlobalOptImproves(t *testing.T) {
 	a0 := tm.Analyze(d.Tree)
 	pairs := d.TopPairs(0)
 	alphas := sta.Alphas(a0, pairs)
-	res, err := GlobalOpt(tm, ch, d, alphas, GlobalConfig{
+	res, err := GlobalOpt(context.Background(), tm, ch, d, alphas, GlobalConfig{
 		TopPairs: 120, MaxPairsPerLP: 40, MaxArcsPerLP: 90,
 		USweep: []float64{0.8},
 	})
@@ -283,7 +284,7 @@ func TestSnapshotAndRunFlows(t *testing.T) {
 	d, tm := smallDesign(t, 120)
 	_, ch := testTech(t)
 	model := cheapModel(t, tm.Tech)
-	res, err := RunFlows(tm, ch, d, model, FlowConfig{
+	res, err := RunFlows(context.Background(), tm, ch, d, model, FlowConfig{
 		TopPairs: 150,
 		Global: GlobalConfig{
 			MaxPairsPerLP: 40, MaxArcsPerLP: 80, USweep: []float64{0.8},
@@ -351,7 +352,7 @@ func TestLocalOptIncrementalMatchesFullSTA(t *testing.T) {
 	pairs := d.TopPairs(0)
 	alphas := sta.Alphas(a0, pairs)
 	run := func(full bool) *LocalResult {
-		res, err := LocalOpt(tm, d, alphas, LocalConfig{
+		res, err := LocalOpt(context.Background(), tm, d, alphas, LocalConfig{
 			Model: model, MaxIters: 5, MaxMoves: 600, Seed: 5, FullSTA: full,
 		})
 		if err != nil {
@@ -375,7 +376,7 @@ func TestRunFlowsErrors(t *testing.T) {
 	model := cheapModel(t, tm.Tech)
 	empty := d.Clone()
 	empty.Pairs = nil
-	if _, err := RunFlows(tm, ch, empty, model, FlowConfig{}); err == nil {
+	if _, err := RunFlows(context.Background(), tm, ch, empty, model, FlowConfig{}); err == nil {
 		t.Error("empty pair set accepted")
 	}
 }
@@ -385,7 +386,7 @@ func TestGlobalOptErrors(t *testing.T) {
 	_, ch := testTech(t)
 	empty := d.Clone()
 	empty.Pairs = nil
-	if _, err := GlobalOpt(tm, ch, empty, []float64{1, 1, 1}, GlobalConfig{}); err == nil {
+	if _, err := GlobalOpt(context.Background(), tm, ch, empty, []float64{1, 1, 1}, GlobalConfig{}); err == nil {
 		t.Error("empty pair set accepted")
 	}
 }

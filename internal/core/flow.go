@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"skewvar/internal/ctree"
+	"skewvar/internal/faults"
 	"skewvar/internal/lut"
 	"skewvar/internal/power"
+	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 )
 
@@ -33,11 +37,31 @@ func Snapshot(tm *sta.Timer, tr *ctree.Tree, pairs []ctree.SinkPair, alphas []fl
 	return m
 }
 
+// FlowStages lists the paper's three optimization flows in run order.
+var FlowStages = []string{"global", "local", "global-local"}
+
 // FlowConfig drives RunFlows.
 type FlowConfig struct {
 	TopPairs int // pairs in the reported objective (0 = all)
 	Global   GlobalConfig
 	Local    LocalConfig
+
+	// Only restricts RunFlows to a subset of FlowStages (nil = all three).
+	// "global-local" implies the global stage runs as its input even when
+	// "global" itself is not requested.
+	Only []string
+
+	// Faults is an optional deterministic fault injector threaded into every
+	// stage (nil = no injection).
+	Faults *faults.Injector
+
+	// Checkpoint enables periodic checkpointing; Resume restarts from a
+	// checkpoint loaded with LoadCheckpoint.
+	Checkpoint CheckpointConfig
+	Resume     *Checkpoint
+
+	// Logf receives degradation warnings (nil = silent).
+	Logf func(format string, args ...interface{})
 }
 
 // FlowResult bundles the four Table-5 flows for one testcase.
@@ -52,17 +76,50 @@ type FlowResult struct {
 	GRes   *GlobalResult
 	LRes   *LocalResult // standalone local
 	GLRes  *LocalResult // local after global
+
+	// Degraded reports that at least one fault was absorbed on the way to
+	// this result (a stage fell back, an LP retried at a reduced budget, a
+	// checkpoint write failed, a move was skipped). Faults holds the
+	// per-class counts.
+	Degraded bool
+	Faults   map[string]int
 }
 
 // RunFlows executes the paper's three optimization flows (§5.2) against the
 // original tree: global alone, local alone, and global followed by local.
 // Normalization factors αk are measured once on the original tree and held
 // fixed, as in the paper.
-func RunFlows(tm *sta.Timer, ch *lut.Char, d *ctree.Design, model StageModel, cfg FlowConfig) (*FlowResult, error) {
+//
+// Robustness contract: a canceled context stops the flow at the next
+// LP-solve or local-iteration boundary and returns the best-so-far result
+// alongside a wrapped resilience.ErrCanceled. Stage failures (solver
+// errors, recovered panics) never abort the run — the failing stage falls
+// back to its input tree, the fault is counted, and Degraded is set; the
+// returned tree is never worse than the original under the reported
+// objective.
+func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design, model StageModel, cfg FlowConfig) (*FlowResult, error) {
 	pairs := d.TopPairs(cfg.TopPairs)
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("core: design has no sink pairs")
 	}
+	stages := cfg.Only
+	if len(stages) == 0 {
+		stages = FlowStages
+	}
+	want := map[string]bool{}
+	for _, s := range stages {
+		switch s {
+		case "global", "local", "global-local":
+			want[s] = true
+		default:
+			return nil, fmt.Errorf("core: unknown flow stage %q", s)
+		}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	rec := resilience.NewRecorder()
 	a0 := tm.Analyze(d.Tree)
 	alphas := sta.Alphas(a0, pairs)
 
@@ -71,41 +128,200 @@ func RunFlows(tm *sta.Timer, ch *lut.Char, d *ctree.Design, model StageModel, cf
 	res.Orig.Norm = 1
 	res.Trees["orig"] = d.Tree
 
-	// Global alone.
+	finish := func(err error) (*FlowResult, error) {
+		res.Faults = rec.Counts()
+		res.Degraded = rec.Total() > 0
+		return res, err
+	}
+	snap := func(tr *ctree.Tree) Metrics {
+		m := Snapshot(tm, tr, pairs, alphas)
+		m.Norm = m.SumVarPS / res.Orig.SumVarPS
+		return m
+	}
+
+	// Resume state.
+	doneTrees := map[string]*ctree.Tree{}
+	resumeStage := ""
+	resumeIter := 0
+	var partial *ctree.Tree
+	if cfg.Resume != nil {
+		for _, s := range cfg.Resume.Done {
+			if t := cfg.Resume.Trees[s]; t != nil {
+				doneTrees[s] = t
+			}
+		}
+		resumeStage = cfg.Resume.Stage
+		resumeIter = cfg.Resume.Iter
+		partial = cfg.Resume.Trees["partial"]
+	}
+
+	var completed []string
+	save := func(stage string, iter int, partialTree *ctree.Tree) {
+		if cfg.Checkpoint.Path == "" {
+			return
+		}
+		cp := &Checkpoint{Stage: stage, Iter: iter, Done: completed, Trees: map[string]*ctree.Tree{}}
+		for _, s := range completed {
+			cp.Trees[s] = res.Trees[s]
+		}
+		if partialTree != nil {
+			cp.Trees["partial"] = partialTree
+		}
+		// Saves run under a fresh context: the most important checkpoint is
+		// the one written after cancellation, and it must not be vetoed by
+		// the very deadline it is rescuing progress from.
+		if err := SaveCheckpoint(context.Background(), cfg.Checkpoint.Path, d, cp, cfg.Faults); err != nil {
+			rec.Record("checkpoint-write")
+			logf("warning: checkpoint save failed: %v", err)
+		}
+	}
+	every := cfg.Checkpoint.EveryIters
+	if every <= 0 {
+		every = 1
+	}
+
 	gcfg := cfg.Global
 	gcfg.TopPairs = cfg.TopPairs
-	gres, err := GlobalOpt(tm, ch, d, alphas, gcfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: global flow: %w", err)
+	if gcfg.Faults == nil {
+		gcfg.Faults = cfg.Faults
 	}
-	res.GRes = gres
-	res.Global = Snapshot(tm, gres.Tree, pairs, alphas)
-	res.Global.Norm = res.Global.SumVarPS / res.Orig.SumVarPS
-	res.Trees["global"] = gres.Tree
-
-	// Local alone.
+	if gcfg.Rec == nil {
+		gcfg.Rec = rec
+	}
 	lcfg := cfg.Local
 	lcfg.Model = model
 	lcfg.TopPairs = cfg.TopPairs
-	lres, err := LocalOpt(tm, d, alphas, lcfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: local flow: %w", err)
+	if lcfg.Faults == nil {
+		lcfg.Faults = cfg.Faults
 	}
-	res.LRes = lres
-	res.Local = Snapshot(tm, lres.Tree, pairs, alphas)
-	res.Local.Norm = res.Local.SumVarPS / res.Orig.SumVarPS
-	res.Trees["local"] = lres.Tree
+	if lcfg.Rec == nil {
+		lcfg.Rec = rec
+	}
+
+	// runLocal runs one local stage with mid-stage checkpointing and resume,
+	// reporting the last completed iteration for the cancellation save.
+	runLocal := func(stage string, base *ctree.Design) (lres *LocalResult, lastIter int, err error) {
+		lc := lcfg
+		userOnIter := lcfg.OnIter
+		lc.OnIter = func(iter int, tree *ctree.Tree) {
+			lastIter = iter
+			if cfg.Checkpoint.Path != "" && iter%every == 0 {
+				save(stage, iter, tree)
+			}
+			if userOnIter != nil {
+				userOnIter(iter, tree)
+			}
+		}
+		if resumeStage == stage && partial != nil {
+			base = base.Clone()
+			base.Tree = partial.Clone()
+			lc.StartIter = resumeIter
+			lastIter = resumeIter
+		}
+		err = resilience.Safely(stage+" stage", func() error {
+			var e error
+			lres, e = LocalOpt(ctx, tm, base, alphas, lc)
+			return e
+		})
+		return lres, lastIter, err
+	}
+
+	// Global stage — also the input of global-local.
+	globalTree := d.Tree
+	if want["global"] || want["global-local"] {
+		if t, ok := doneTrees["global"]; ok {
+			globalTree = t
+		} else {
+			var gres *GlobalResult
+			err := resilience.Safely("global stage", func() error {
+				var e error
+				gres, e = GlobalOpt(ctx, tm, ch, d, alphas, gcfg)
+				return e
+			})
+			switch {
+			case errors.Is(err, resilience.ErrCanceled):
+				if gres != nil && gres.Tree != nil {
+					res.GRes = gres
+					res.Trees["global"] = gres.Tree
+					res.Global = snap(gres.Tree)
+				}
+				return finish(err)
+			case err != nil:
+				rec.Record("stage-fallback")
+				logf("warning: global stage failed (%v); keeping the unmodified tree", err)
+			default:
+				res.GRes = gres
+				globalTree = gres.Tree
+			}
+		}
+		res.Trees["global"] = globalTree
+		res.Global = snap(globalTree)
+		completed = append(completed, "global")
+		save("", 0, nil)
+	}
+
+	// Local alone.
+	if want["local"] {
+		if t, ok := doneTrees["local"]; ok {
+			res.Trees["local"] = t
+			res.Local = snap(t)
+		} else {
+			lres, lastIter, err := runLocal("local", d)
+			switch {
+			case errors.Is(err, resilience.ErrCanceled):
+				if lres != nil && lres.Tree != nil {
+					res.LRes = lres
+					res.Trees["local"] = lres.Tree
+					res.Local = snap(lres.Tree)
+					save("local", lastIter, lres.Tree)
+				}
+				return finish(err)
+			case err != nil:
+				rec.Record("stage-fallback")
+				logf("warning: local stage failed (%v); keeping the unmodified tree", err)
+				res.Trees["local"] = d.Tree
+				res.Local = snap(d.Tree)
+			default:
+				res.LRes = lres
+				res.Trees["local"] = lres.Tree
+				res.Local = snap(lres.Tree)
+			}
+		}
+		completed = append(completed, "local")
+		save("", 0, nil)
+	}
 
 	// Global then local.
-	dg := d.Clone()
-	dg.Tree = gres.Tree.Clone()
-	glres, err := LocalOpt(tm, dg, alphas, lcfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: global-local flow: %w", err)
+	if want["global-local"] {
+		if t, ok := doneTrees["global-local"]; ok {
+			res.Trees["global-local"] = t
+			res.GLocal = snap(t)
+		} else {
+			dg := d.Clone()
+			dg.Tree = globalTree.Clone()
+			glres, lastIter, err := runLocal("global-local", dg)
+			switch {
+			case errors.Is(err, resilience.ErrCanceled):
+				if glres != nil && glres.Tree != nil {
+					res.GLRes = glres
+					res.Trees["global-local"] = glres.Tree
+					res.GLocal = snap(glres.Tree)
+					save("global-local", lastIter, glres.Tree)
+				}
+				return finish(err)
+			case err != nil:
+				rec.Record("stage-fallback")
+				logf("warning: global-local stage failed (%v); keeping the global tree", err)
+				res.Trees["global-local"] = globalTree
+				res.GLocal = snap(globalTree)
+			default:
+				res.GLRes = glres
+				res.Trees["global-local"] = glres.Tree
+				res.GLocal = snap(glres.Tree)
+			}
+		}
+		completed = append(completed, "global-local")
+		save("", 0, nil)
 	}
-	res.GLRes = glres
-	res.GLocal = Snapshot(tm, glres.Tree, pairs, alphas)
-	res.GLocal.Norm = res.GLocal.SumVarPS / res.Orig.SumVarPS
-	res.Trees["global-local"] = glres.Tree
-	return res, nil
+	return finish(nil)
 }

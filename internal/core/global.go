@@ -1,15 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"skewvar/internal/ctree"
 	"skewvar/internal/eco"
+	"skewvar/internal/faults"
 	"skewvar/internal/legalize"
 	"skewvar/internal/lp"
 	"skewvar/internal/lut"
+	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 )
 
@@ -28,6 +31,12 @@ type GlobalConfig struct {
 	RatioRounds   int       // row-generation rounds for the W-window (11), free-Δ mode (default 3)
 	MinDeltaPS    float64   // smallest per-arc change realized by a full rebuild (default 6)
 	LPIters       int       // simplex iteration cap per solve (0 = solver default)
+
+	// Faults is an optional deterministic fault injector (nil = no
+	// injection); Rec receives fault counts from the degradation paths
+	// (nil = not recorded). Both are normally threaded in by RunFlows.
+	Faults *faults.Injector
+	Rec    *resilience.Recorder
 
 	// FreeDelta switches to the paper's literal formulation with an
 	// independent Δ variable per (arc, corner), guarded only by the
@@ -96,6 +105,10 @@ type GlobalResult struct {
 	LPStats      []LPStat
 	ArcsRebuilt  int
 	ECOSelectErr float64 // mean realization error of applied arcs
+
+	Degraded   bool // at least one LP failed or the pair budget was halved
+	LPFailures int  // block LP solves that errored (injected or real)
+	PairBudget int  // MaxPairsPerLP the returned sweep actually used
 }
 
 // GlobalOpt runs the LP-guided global optimization: per criticality block it
@@ -103,17 +116,18 @@ type GlobalResult struct {
 // changes under a swept ΣV bound U, realizes them with routing detours and
 // the Algorithm-1 inverter-pair ECO, and keeps the swept tree with the best
 // golden ΣV that does not degrade local skew.
-func GlobalOpt(tm *sta.Timer, ch *lut.Char, d *ctree.Design, alphas []float64, cfg GlobalConfig) (*GlobalResult, error) {
+//
+// Degradation ladder: when block LPs fail (solver error, injected fault,
+// recovered panic), the whole sweep is retried with a halved MaxPairsPerLP
+// — smaller LPs are cheaper and numerically easier — down to a floor, after
+// which the best attempt (never worse than the unmodified tree) is
+// returned. A canceled context stops at the next block boundary and returns
+// the best-so-far tree with a wrapped resilience.ErrCanceled.
+func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design, alphas []float64, cfg GlobalConfig) (*GlobalResult, error) {
 	cfg.setDefaults()
 	pairs := d.TopPairs(cfg.TopPairs)
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("core: no sink pairs")
-	}
-	a0 := tm.Analyze(d.Tree)
-	res := &GlobalResult{SumVar0: sta.SumVariation(a0, alphas, pairs)}
-	skew0 := make([]float64, a0.K)
-	for k := range skew0 {
-		skew0[k] = sta.MaxAbsSkew(a0, k, pairs)
 	}
 	// Envelopes for every corner pair (constraint (11) / Figure 2).
 	K := tm.Tech.NumCorners()
@@ -127,22 +141,88 @@ func GlobalOpt(tm *sta.Timer, ch *lut.Char, d *ctree.Design, alphas []float64, c
 			envs[[2]int{k, k2}] = e
 		}
 	}
-	blocks := partitionPairs(d.Tree, pairs, cfg.MaxPairsPerLP)
 	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
 	reb := eco.NewRebuilder(tm.Tech, ch, lg)
+
+	const minPairsPerLP = 16
+	budget := cfg.MaxPairsPerLP
+	sawFailure := false
+	var best *GlobalResult
+	for {
+		acfg := cfg
+		acfg.MaxPairsPerLP = budget
+		res, err := globalSweep(ctx, tm, reb, d, alphas, pairs, envs, acfg)
+		res.PairBudget = budget
+		if best == nil || res.SumVar < best.SumVar {
+			best = res
+		}
+		sawFailure = sawFailure || res.LPFailures > 0
+		best.Degraded = sawFailure
+		if err != nil {
+			return best, err
+		}
+		if res.LPFailures == 0 || budget <= minPairsPerLP {
+			return best, nil
+		}
+		cfg.Rec.Record("lp-budget-halved")
+		budget /= 2
+		if budget < minPairsPerLP {
+			budget = minPairsPerLP
+		}
+	}
+}
+
+// globalSweep runs one full U-sweep at a fixed pair budget, absorbing block
+// failures (skipping the block) and counting them in LPFailures.
+func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctree.Design, alphas []float64, pairs []ctree.SinkPair, envs map[[2]int]*lut.Envelope, cfg GlobalConfig) (*GlobalResult, error) {
+	a0 := tm.Analyze(d.Tree)
+	res := &GlobalResult{SumVar0: sta.SumVariation(a0, alphas, pairs)}
+	skew0 := make([]float64, a0.K)
+	for k := range skew0 {
+		skew0[k] = sta.MaxAbsSkew(a0, k, pairs)
+	}
+	blocks := partitionPairs(d.Tree, pairs, cfg.MaxPairsPerLP)
 
 	best := d.Tree
 	bestVar := res.SumVar0
 	bestU := 0.0
+	finalize := func() {
+		res.Tree = best.Clone()
+		res.SumVar = bestVar
+		res.BestU = bestU
+	}
 	for _, frac := range cfg.USweep {
 		tree := d.Tree.Clone()
 		rebuilt := 0
 		var selErrSum float64
 		var selErrN int
 		prevVar := res.SumVar0
+		treeOK := true
 		for bi, blk := range blocks {
+			if cerr := resilience.Canceled(ctx); cerr != nil {
+				finalize()
+				return res, cerr
+			}
 			pre := tree.Clone()
-			stat, n, es, en := optimizeBlock(tm, reb, tree, blk, pairs, alphas, envs, cfg, frac)
+			var stat LPStat
+			var n, en int
+			var es float64
+			var lpErr error
+			perr := resilience.Safely("global block", func() error {
+				stat, n, es, en, lpErr = optimizeBlock(tm, reb, tree, blk, pairs, alphas, envs, cfg, frac)
+				return nil
+			})
+			if perr != nil {
+				tree = pre
+				cfg.Rec.Record("panic")
+				res.LPFailures++
+				stat = LPStat{Block: bi, UFrac: frac, Reverted: true}
+				res.LPStats = append(res.LPStats, stat)
+				continue
+			}
+			if lpErr != nil {
+				res.LPFailures++
+			}
 			stat.Block = bi
 			stat.UFrac = frac
 			if n > 0 {
@@ -178,7 +258,14 @@ func GlobalOpt(tm *sta.Timer, ch *lut.Char, d *ctree.Design, alphas []float64, c
 			selErrN += en
 		}
 		if err := tree.Validate(); err != nil {
-			return nil, fmt.Errorf("core: global ECO corrupted tree at U=%.2f: %w", frac, err)
+			// A corrupted sweep never becomes the incumbent; drop it and keep
+			// sweeping instead of aborting the whole stage.
+			cfg.Rec.Record("tree-corrupt")
+			res.LPFailures++
+			treeOK = false
+		}
+		if !treeOK {
+			continue
 		}
 		aU := tm.Analyze(tree)
 		vU := sta.SumVariation(aU, alphas, pairs)
@@ -197,9 +284,7 @@ func GlobalOpt(tm *sta.Timer, ch *lut.Char, d *ctree.Design, alphas []float64, c
 			}
 		}
 	}
-	res.Tree = best.Clone()
-	res.SumVar = bestVar
-	res.BestU = bestU
+	finalize()
 	return res, nil
 }
 
@@ -295,11 +380,34 @@ func gateProfile(reb *eco.Rebuilder, tree *ctree.Tree, arc *ctree.Arc) []float64
 	return prof
 }
 
+// solveLP is the guarded LP entry point of the global stage: it fires the
+// lp-solve fault hook, recovers solver panics into typed errors, and counts
+// failures — so a wedged or failing simplex degrades one block instead of
+// killing the flow.
+func solveLP(prob *lp.Problem, opts lp.Options, inj *faults.Injector, rec *resilience.Recorder) (*lp.Solution, error) {
+	if inj.Fire(faults.LPSolve) {
+		rec.Record("lp-solve")
+		return nil, fmt.Errorf("core: injected LP failure: %w", resilience.ErrSolver)
+	}
+	var sol *lp.Solution
+	err := resilience.Safely("lp solve", func() error {
+		var e error
+		sol, e = prob.Solve(opts)
+		return e
+	})
+	if err != nil {
+		rec.Record("lp-solve")
+		return sol, err
+	}
+	return sol, nil
+}
+
 // optimizeBlock solves one block LP on the current tree state and realizes
 // the resulting per-arc delay changes (detour trims for fine corrections,
 // Algorithm-1 rebuilds for coarse ones). It returns the LP stat, the number
-// of changed arcs, and the accumulated realization error.
-func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, allPairs []ctree.SinkPair, alphas []float64, envs map[[2]int]*lut.Envelope, cfg GlobalConfig, frac float64) (LPStat, int, float64, int) {
+// of changed arcs, the accumulated realization error, and the LP solve
+// error if the block's LP could not be solved (the block is then a no-op).
+func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, allPairs []ctree.SinkPair, alphas []float64, envs map[[2]int]*lut.Envelope, cfg GlobalConfig, frac float64) (LPStat, int, float64, int, error) {
 	a := tm.Analyze(tree)
 	seg := ctree.Segment(tree)
 	arcD := sta.ArcDelays(a, seg)
@@ -333,7 +441,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 	}
 	blk = valid
 	if len(blk) == 0 {
-		return LPStat{Status: lp.Infeasible}, 0, 0, 0
+		return LPStat{Status: lp.Infeasible}, 0, 0, 0, nil
 	}
 	// Freeze arcs that out-of-block pairs also traverse: a block's ECO must
 	// not shift the skew of pairs its LP cannot see (the per-block golden
@@ -384,6 +492,24 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 		}
 	}
 
+	// Deterministic NaN-delay injection: poison the first unfrozen arc's
+	// delay vector. The NaN flows into the LP variable bounds, trips the
+	// problem builder's validation, and exercises the block-skip path the
+	// same way a numerically broken timer would.
+	if cfg.Faults != nil && len(arcs) > 0 && cfg.Faults.Fire(faults.NaNDelay) {
+		cfg.Rec.Record("nan-delay")
+		target := arcs[0]
+		for _, ai := range arcs {
+			if !external[ai] {
+				target = ai
+				break
+			}
+		}
+		for k := range arcD[target] {
+			arcD[target][k] = math.NaN()
+		}
+	}
+
 	// Per-arc geometry and knob signatures.
 	directLen := map[int]float64{}
 	slopes := map[int][]float64{}
@@ -403,6 +529,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 		sol  *lp.Solution
 		stat LPStat
 		vars map[int]*arcKnobs
+		err  error
 	}
 	buildSolve := func(allowed map[int]bool) lpOut {
 		prob := lp.NewProblem()
@@ -581,7 +708,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 			maxRounds = cfg.RatioRounds
 		}
 		for round := 0; ; round++ {
-			sol, err = prob.Solve(lp.Options{MaxIters: cfg.LPIters})
+			sol, err = solveLP(prob, lp.Options{MaxIters: cfg.LPIters}, cfg.Faults, cfg.Rec)
 			if err != nil || sol.Status != lp.Optimal {
 				if sol != nil {
 					stat.Status = sol.Status
@@ -589,7 +716,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 				}
 				stat.Rows = prob.NumRows()
 				stat.Cols = prob.NumVars()
-				return lpOut{stat: stat}
+				return lpOut{stat: stat, err: err}
 			}
 			if round >= maxRounds {
 				break
@@ -653,7 +780,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 	// useful arcs so per-arc deltas are large enough to realize.
 	first := buildSolve(nil)
 	if first.sol == nil {
-		return first.stat, 0, 0, 0
+		return first.stat, 0, 0, 0, first.err
 	}
 	type arcReq struct {
 		ai  int
@@ -855,7 +982,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 		}
 	}
 	stat.ArcsChanged = rebuilt
-	return stat, rebuilt, selErr, selN
+	return stat, rebuilt, selErr, selN, nil
 }
 
 func sortedKeys(m map[int]int) []int {

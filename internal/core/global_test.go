@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -141,7 +142,7 @@ func TestGlobalOptFreeDeltaAblation(t *testing.T) {
 	a0 := tm.Analyze(d.Tree)
 	pairs := d.TopPairs(0)
 	alphas := sta.Alphas(a0, pairs)
-	res, err := GlobalOpt(tm, ch, d, alphas, GlobalConfig{
+	res, err := GlobalOpt(context.Background(), tm, ch, d, alphas, GlobalConfig{
 		TopPairs: 60, MaxArcsPerLP: 80, USweep: []float64{0.8}, FreeDelta: true,
 	})
 	if err != nil {
@@ -162,7 +163,7 @@ func TestGlobalOptEq8AndAllCorners(t *testing.T) {
 	a0 := tm.Analyze(d.Tree)
 	pairs := d.TopPairs(0)
 	alphas := sta.Alphas(a0, pairs)
-	res, err := GlobalOpt(tm, ch, d, alphas, GlobalConfig{
+	res, err := GlobalOpt(context.Background(), tm, ch, d, alphas, GlobalConfig{
 		TopPairs: 50, MaxArcsPerLP: 80, USweep: []float64{0.8},
 		Eq8: true, Eq7AllCorners: true,
 	})

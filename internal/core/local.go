@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,8 +11,10 @@ import (
 
 	"skewvar/internal/ctree"
 	"skewvar/internal/eco"
+	"skewvar/internal/faults"
 	"skewvar/internal/geom"
 	"skewvar/internal/legalize"
+	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 )
 
@@ -30,6 +33,21 @@ type LocalConfig struct {
 	FullSTA     bool    // force full re-analysis for every golden trial (default: incremental timing)
 	Seed        int64
 	Workers     int // parallelism (default NumCPU)
+
+	// StartIter resumes the iteration count from a checkpoint: the loop
+	// runs iterations [StartIter, MaxIters) against the (already partially
+	// optimized) input tree.
+	StartIter int
+
+	// OnIter, when set, is called after every iteration with the number of
+	// completed iterations and the current tree — the flow runner's
+	// checkpoint hook. The tree must not be mutated by the callback.
+	OnIter func(iter int, tree *ctree.Tree)
+
+	// Faults is an optional deterministic fault injector (nil = none); Rec
+	// counts absorbed faults (nil = not recorded). Normally set by RunFlows.
+	Faults *faults.Injector
+	Rec    *resilience.Recorder
 }
 
 func (c *LocalConfig) setDefaults() {
@@ -82,7 +100,12 @@ type LocalResult struct {
 // parallel, verify with the golden timer, accept the best improving and
 // non-degrading move, and repeat until the predictor finds no further
 // reduction.
-func LocalOpt(tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig) (*LocalResult, error) {
+//
+// A canceled context stops at the next iteration boundary and returns the
+// best-so-far tree with a wrapped resilience.ErrCanceled. Moves that fail
+// to apply — injected faults, panics in a trial, broken invariants — are
+// skipped and counted, never fatal.
+func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig) (*LocalResult, error) {
 	cfg.setDefaults()
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("core: LocalOpt needs a stage model")
@@ -95,7 +118,6 @@ func LocalOpt(tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig)
 		return nil, fmt.Errorf("core: no sink pairs")
 	}
 	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	cur := d.Tree.Clone()
 	a0 := tm.Analyze(cur)
@@ -113,8 +135,17 @@ func LocalOpt(tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig)
 		pairsBySink[p.B] = append(pairsBySink[p.B], i)
 	}
 
-	for iter := 0; iter < cfg.MaxIters; iter++ {
+	var runErr error
+	for iter := cfg.StartIter; iter < cfg.MaxIters; iter++ {
+		if err := resilience.Canceled(ctx); err != nil {
+			runErr = err
+			break
+		}
 		a := tm.Analyze(cur)
+		// The rng is derived from (seed, iter), not threaded across
+		// iterations, so a resumed run replays the exact move subsets the
+		// uninterrupted run would have seen from the same iteration.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(iter)*1000003))
 		moves := enumerateCandidates(tm, cur, d, a, alphas, pairs, cfg, rng)
 		if len(moves) == 0 {
 			break
@@ -160,26 +191,38 @@ func LocalOpt(tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig)
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					t2 := cur.Clone()
-					if err := eco.Apply(t2, tm.Tech, lg, cands[i].move); err != nil {
+					// A move-apply fault (injected I/O-level failure) or a
+					// panic inside the trial skips this one move; the rest
+					// of the batch still competes.
+					if cfg.Faults.Fire(faults.MoveApply) {
+						cfg.Rec.Record("move-apply")
 						return
 					}
-					if t2.Validate() != nil {
-						return
-					}
-					var a2 *sta.Analysis
-					if cfg.FullSTA {
-						a2 = tm.Analyze(t2)
-					} else {
-						a2 = tm.AnalyzeIncremental(t2, a, moveDirty(cands[i].move))
-					}
-					v2 := sta.SumVariation(a2, alphas, pairs)
-					for k := 0; k < a2.K; k++ {
-						if sta.MaxAbsSkew(a2, k, pairs) > sta.SkewGuard(skew0[k]) {
-							return // local-skew degradation
+					if err := resilience.Safely("local move trial", func() error {
+						t2 := cur.Clone()
+						if err := eco.Apply(t2, tm.Tech, lg, cands[i].move); err != nil {
+							return nil
 						}
+						if t2.Validate() != nil {
+							return nil
+						}
+						var a2 *sta.Analysis
+						if cfg.FullSTA {
+							a2 = tm.Analyze(t2)
+						} else {
+							a2 = tm.AnalyzeIncremental(t2, a, moveDirty(cands[i].move))
+						}
+						v2 := sta.SumVariation(a2, alphas, pairs)
+						for k := 0; k < a2.K; k++ {
+							if sta.MaxAbsSkew(a2, k, pairs) > sta.SkewGuard(skew0[k]) {
+								return nil // local-skew degradation
+							}
+						}
+						trials[i] = trial{tree: t2, v: v2, ok: true, idx: i}
+						return nil
+					}); err != nil {
+						cfg.Rec.Record("move-panic")
 					}
-					trials[i] = trial{tree: t2, v: v2, ok: true, idx: i}
 				}(i)
 			}
 			wg.Wait()
@@ -205,13 +248,16 @@ func LocalOpt(tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig)
 				accepted = true
 			}
 		}
+		if cfg.OnIter != nil {
+			cfg.OnIter(iter+1, cur)
+		}
 		if !accepted {
 			break
 		}
 	}
 	res.Tree = cur
 	res.SumVar = curVar
-	return res, nil
+	return res, runErr
 }
 
 // enumerateCandidates lists Table-2 moves on buffers that drive the
@@ -369,7 +415,14 @@ func predictGains(tm *sta.Timer, cur *ctree.Tree, a *sta.Analysis, alphas []floa
 		go func(mi int, mv eco.Move) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[mi] = scoredMove{move: mv, gain: sc.Gain(mv)}
+			gain := math.Inf(-1)
+			if err := resilience.Safely("predict gain", func() error {
+				gain = sc.Gain(mv)
+				return nil
+			}); err != nil {
+				cfg.Rec.Record("predict-panic")
+			}
+			out[mi] = scoredMove{move: mv, gain: gain}
 		}(mi, mv)
 	}
 	wg.Wait()

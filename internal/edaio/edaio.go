@@ -10,31 +10,77 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
 	"skewvar/internal/ctree"
 	"skewvar/internal/geom"
+	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 	"skewvar/internal/tech"
 )
 
+// jfloat is a float64 that survives JSON round trips even when non-finite,
+// encoding NaN/±Inf as the strings "NaN", "+Inf", "-Inf". encoding/json
+// rejects non-finite numbers outright, which would make it impossible to
+// dump a corrupted design for postmortem; with jfloat the encoder always
+// succeeds and ReadDesign validation is the gate that keeps bad geometry
+// out of the optimizer.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jfloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = jfloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("invalid float %s", b)
+	}
+	switch s {
+	case "NaN":
+		*f = jfloat(math.NaN())
+	case "+Inf", "Inf":
+		*f = jfloat(math.Inf(1))
+	case "-Inf":
+		*f = jfloat(math.Inf(-1))
+	default:
+		return fmt.Errorf("invalid float %q", s)
+	}
+	return nil
+}
+
 // jsonNode is the serialized form of one tree node.
 type jsonNode struct {
-	ID     int32   `json:"id"`
-	Kind   string  `json:"kind"`
-	X      float64 `json:"x"`
-	Y      float64 `json:"y"`
-	Cell   string  `json:"cell,omitempty"`
-	Parent int32   `json:"parent"`
-	Detour float64 `json:"detour,omitempty"`
-	Name   string  `json:"name,omitempty"`
+	ID     int32  `json:"id"`
+	Kind   string `json:"kind"`
+	X      jfloat `json:"x"`
+	Y      jfloat `json:"y"`
+	Cell   string `json:"cell,omitempty"`
+	Parent int32  `json:"parent"`
+	Detour jfloat `json:"detour,omitempty"`
+	Name   string `json:"name,omitempty"`
 }
 
 type jsonPair struct {
-	A    int32   `json:"a"`
-	B    int32   `json:"b"`
-	Crit float64 `json:"crit"`
+	A    int32  `json:"a"`
+	B    int32  `json:"b"`
+	Crit jfloat `json:"crit"`
 }
 
 type jsonDesign struct {
@@ -42,10 +88,10 @@ type jsonDesign struct {
 	Source   int32      `json:"source"`
 	Nodes    []jsonNode `json:"nodes"`
 	Pairs    []jsonPair `json:"pairs"`
-	DieLoX   float64    `json:"die_lo_x"`
-	DieLoY   float64    `json:"die_lo_y"`
-	DieHiX   float64    `json:"die_hi_x"`
-	DieHiY   float64    `json:"die_hi_y"`
+	DieLoX   jfloat     `json:"die_lo_x"`
+	DieLoY   jfloat     `json:"die_lo_y"`
+	DieHiX   jfloat     `json:"die_hi_x"`
+	DieHiY   jfloat     `json:"die_hi_y"`
 	NumCells int        `json:"num_cells"`
 	Util     float64    `json:"util"`
 	Corners  []string   `json:"corners"`
@@ -64,7 +110,7 @@ func kindFromString(s string) (ctree.Kind, error) {
 	case "tap":
 		return ctree.KindTap, nil
 	}
-	return 0, fmt.Errorf("edaio: unknown node kind %q", s)
+	return 0, invalid("unknown node kind %q", s)
 }
 
 // WriteDesign serializes a design as JSON.
@@ -72,10 +118,10 @@ func WriteDesign(w io.Writer, d *ctree.Design) error {
 	jd := jsonDesign{
 		Name:     d.Name,
 		Source:   int32(d.Tree.Source),
-		DieLoX:   d.Die.Lo.X,
-		DieLoY:   d.Die.Lo.Y,
-		DieHiX:   d.Die.Hi.X,
-		DieHiY:   d.Die.Hi.Y,
+		DieLoX:   jfloat(d.Die.Lo.X),
+		DieLoY:   jfloat(d.Die.Lo.Y),
+		DieHiX:   jfloat(d.Die.Hi.X),
+		DieHiY:   jfloat(d.Die.Hi.Y),
 		NumCells: d.NumCells,
 		Util:     d.Util,
 		Corners:  d.CornerNames,
@@ -86,36 +132,68 @@ func WriteDesign(w io.Writer, d *ctree.Design) error {
 		}
 		jd.Nodes = append(jd.Nodes, jsonNode{
 			ID: int32(n.ID), Kind: kindString(n.Kind),
-			X: n.Loc.X, Y: n.Loc.Y,
+			X: jfloat(n.Loc.X), Y: jfloat(n.Loc.Y),
 			Cell: n.CellName, Parent: int32(n.Parent),
-			Detour: n.Detour, Name: n.Name,
+			Detour: jfloat(n.Detour), Name: n.Name,
 		})
 	}
 	for _, p := range d.Pairs {
-		jd.Pairs = append(jd.Pairs, jsonPair{A: int32(p.A), B: int32(p.B), Crit: p.Crit})
+		jd.Pairs = append(jd.Pairs, jsonPair{A: int32(p.A), B: int32(p.B), Crit: jfloat(p.Crit)})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(&jd)
 }
 
-// ReadDesign parses a design written by WriteDesign and validates the tree.
-func ReadDesign(r io.Reader) (*ctree.Design, error) {
+// ReadOption tunes ReadDesign validation.
+type ReadOption func(*readConfig)
+
+type readConfig struct {
+	knownCell func(string) bool
+}
+
+// WithCells makes ReadDesign reject buffer/source nodes whose cell name the
+// predicate does not recognize, so a malformed design fails at the I/O
+// boundary instead of panicking later inside the timer.
+func WithCells(known func(string) bool) ReadOption {
+	return func(c *readConfig) { c.knownCell = known }
+}
+
+// invalid wraps a validation failure with the resilience.ErrInvalidDesign
+// taxonomy sentinel.
+func invalid(format string, args ...interface{}) error {
+	return fmt.Errorf("edaio: "+format+": %w", append(args, resilience.ErrInvalidDesign)...)
+}
+
+// ReadDesign parses a design written by WriteDesign and validates it:
+// structural tree invariants, finite geometry (no NaN/Inf coordinates, no
+// negative wire detours), a sane die box, pairs referencing live sinks, and
+// — with WithCells — known cell names. Every validation failure wraps
+// resilience.ErrInvalidDesign, so callers can distinguish malformed input
+// from I/O errors with errors.Is.
+func ReadDesign(r io.Reader, opts ...ReadOption) (*ctree.Design, error) {
+	var rc readConfig
+	for _, o := range opts {
+		o(&rc)
+	}
 	var jd jsonDesign
 	if err := json.NewDecoder(r).Decode(&jd); err != nil {
 		return nil, fmt.Errorf("edaio: decoding design: %w", err)
 	}
 	if len(jd.Nodes) == 0 {
-		return nil, fmt.Errorf("edaio: design has no nodes")
+		return nil, invalid("design has no nodes")
 	}
 	maxID := int32(0)
 	for _, n := range jd.Nodes {
 		if n.ID < 0 {
-			return nil, fmt.Errorf("edaio: negative node id %d", n.ID)
+			return nil, invalid("negative node id %d", n.ID)
 		}
 		if n.ID > maxID {
 			maxID = n.ID
 		}
+	}
+	if int(maxID) > 4*len(jd.Nodes)+1024 {
+		return nil, invalid("node id space too sparse (max id %d for %d nodes)", maxID, len(jd.Nodes))
 	}
 	tree := &ctree.Tree{
 		Nodes:  make([]*ctree.Node, maxID+1),
@@ -127,15 +205,25 @@ func ReadDesign(r io.Reader) (*ctree.Design, error) {
 			return nil, err
 		}
 		if tree.Nodes[n.ID] != nil {
-			return nil, fmt.Errorf("edaio: duplicate node id %d", n.ID)
+			return nil, invalid("duplicate node id %d", n.ID)
+		}
+		x, y, detour := float64(n.X), float64(n.Y), float64(n.Detour)
+		if !isFinite(x) || !isFinite(y) {
+			return nil, invalid("node %d has non-finite location (%v, %v)", n.ID, x, y)
+		}
+		if !isFinite(detour) || detour < 0 {
+			return nil, invalid("node %d has invalid wire detour %v", n.ID, detour)
+		}
+		if rc.knownCell != nil && (kind == ctree.KindBuffer || kind == ctree.KindSource) && !rc.knownCell(n.Cell) {
+			return nil, invalid("node %d uses unknown cell %q", n.ID, n.Cell)
 		}
 		tree.Nodes[n.ID] = &ctree.Node{
 			ID:       ctree.NodeID(n.ID),
 			Kind:     kind,
-			Loc:      geom.Pt(n.X, n.Y),
+			Loc:      geom.Pt(x, y),
 			CellName: n.Cell,
 			Parent:   ctree.NodeID(n.Parent),
-			Detour:   n.Detour,
+			Detour:   detour,
 			Name:     n.Name,
 		}
 	}
@@ -144,9 +232,12 @@ func ReadDesign(r io.Reader) (*ctree.Design, error) {
 		if n == nil || n.Parent == ctree.NoNode {
 			continue
 		}
+		if n.Parent < 0 {
+			return nil, invalid("node %d has invalid parent %d", n.ID, n.Parent)
+		}
 		p := tree.Node(n.Parent)
 		if p == nil {
-			return nil, fmt.Errorf("edaio: node %d references missing parent %d", n.ID, n.Parent)
+			return nil, invalid("node %d references missing parent %d", n.ID, n.Parent)
 		}
 		p.Children = append(p.Children, n.ID)
 	}
@@ -156,24 +247,43 @@ func ReadDesign(r io.Reader) (*ctree.Design, error) {
 		}
 	}
 	if err := tree.Validate(); err != nil {
-		return nil, fmt.Errorf("edaio: invalid tree: %w", err)
+		return nil, invalid("invalid tree: %v", err)
+	}
+	dieLoX, dieLoY := float64(jd.DieLoX), float64(jd.DieLoY)
+	dieHiX, dieHiY := float64(jd.DieHiX), float64(jd.DieHiY)
+	for _, v := range []float64{dieLoX, dieLoY, dieHiX, dieHiY} {
+		if !isFinite(v) {
+			return nil, invalid("die box has non-finite coordinate %v", v)
+		}
+	}
+	if dieHiX < dieLoX || dieHiY < dieLoY {
+		return nil, invalid("die box is inverted (%v,%v)-(%v,%v)", dieLoX, dieLoY, dieHiX, dieHiY)
 	}
 	d := &ctree.Design{
 		Name:        jd.Name,
 		Tree:        tree,
-		Die:         geom.NewRect(geom.Pt(jd.DieLoX, jd.DieLoY), geom.Pt(jd.DieHiX, jd.DieHiY)),
+		Die:         geom.NewRect(geom.Pt(dieLoX, dieLoY), geom.Pt(dieHiX, dieHiY)),
 		NumCells:    jd.NumCells,
 		Util:        jd.Util,
 		CornerNames: jd.Corners,
 	}
 	for _, p := range jd.Pairs {
-		if tree.Node(ctree.NodeID(p.A)) == nil || tree.Node(ctree.NodeID(p.B)) == nil {
-			return nil, fmt.Errorf("edaio: pair references missing sink (%d,%d)", p.A, p.B)
+		a, b := tree.Node(ctree.NodeID(p.A)), tree.Node(ctree.NodeID(p.B))
+		if a == nil || b == nil {
+			return nil, invalid("pair references missing sink (%d,%d)", p.A, p.B)
 		}
-		d.Pairs = append(d.Pairs, ctree.SinkPair{A: ctree.NodeID(p.A), B: ctree.NodeID(p.B), Crit: p.Crit})
+		if a.Kind != ctree.KindSink || b.Kind != ctree.KindSink {
+			return nil, invalid("pair (%d,%d) references non-sink nodes", p.A, p.B)
+		}
+		if !isFinite(float64(p.Crit)) {
+			return nil, invalid("pair (%d,%d) has non-finite criticality %v", p.A, p.B, float64(p.Crit))
+		}
+		d.Pairs = append(d.Pairs, ctree.SinkPair{A: ctree.NodeID(p.A), B: ctree.NodeID(p.B), Crit: float64(p.Crit)})
 	}
 	return d, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // instName returns the canonical instance name of a node.
 func instName(n *ctree.Node) string {

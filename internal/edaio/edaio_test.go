@@ -2,10 +2,16 @@ package edaio
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"skewvar/internal/ctree"
+	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 	"skewvar/internal/tech"
 	"skewvar/internal/testgen"
@@ -55,19 +61,84 @@ func TestDesignJSONRoundTrip(t *testing.T) {
 }
 
 func TestReadDesignErrors(t *testing.T) {
-	cases := []string{
-		``,
-		`{"name":"x","nodes":[]}`,
-		`{"name":"x","source":0,"nodes":[{"id":-1,"kind":"source","parent":-1}]}`,
-		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"alien","parent":-1}]}`,
-		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":0,"kind":"sink","parent":0}]}`,
-		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":1,"kind":"sink","parent":5}]}`,
-		`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","cell":"C","parent":-1}],"pairs":[{"a":7,"b":8}]}`,
+	// Decode failures are I/O errors, not design-validation errors.
+	if _, err := ReadDesign(strings.NewReader(``)); err == nil || errors.Is(err, resilience.ErrInvalidDesign) {
+		t.Errorf("decode failure misclassified: %v", err)
 	}
-	for i, c := range cases {
-		if _, err := ReadDesign(strings.NewReader(c)); err == nil {
-			t.Errorf("case %d accepted", i)
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no-nodes", `{"name":"x","nodes":[]}`},
+		{"negative-id", `{"name":"x","source":0,"nodes":[{"id":-1,"kind":"source","parent":-1}]}`},
+		{"unknown-kind", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"alien","parent":-1}]}`},
+		{"duplicate-id", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":0,"kind":"sink","parent":0}]}`},
+		{"missing-parent", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":1,"kind":"sink","parent":5}]}`},
+		{"pair-missing-sink", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","cell":"C","parent":-1}],"pairs":[{"a":7,"b":8}]}`},
+		{"nan-coord", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","x":"NaN","parent":-1}]}`},
+		{"inf-coord", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","y":"+Inf","parent":-1}]}`},
+		{"negative-detour", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1,"detour":-3}]}`},
+		{"nan-detour", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1,"detour":"NaN"}]}`},
+		{"sparse-ids", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":99999999,"kind":"sink","parent":0}]}`},
+		{"pair-non-sink", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":1,"kind":"sink","parent":0}],"pairs":[{"a":0,"b":1}]}`},
+		{"nan-crit", `{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1},{"id":1,"kind":"sink","parent":0},{"id":2,"kind":"sink","parent":0}],"pairs":[{"a":1,"b":2,"crit":"NaN"}]}`},
+		{"nan-die", `{"name":"x","source":0,"die_hi_x":"NaN","nodes":[{"id":0,"kind":"source","parent":-1}]}`},
+		{"inverted-die", `{"name":"x","source":0,"die_lo_x":10,"die_hi_x":5,"nodes":[{"id":0,"kind":"source","parent":-1}]}`},
+	}
+	for _, c := range cases {
+		_, err := ReadDesign(strings.NewReader(c.json))
+		if err == nil {
+			t.Errorf("case %s accepted", c.name)
+			continue
 		}
+		if !errors.Is(err, resilience.ErrInvalidDesign) {
+			t.Errorf("case %s: err = %v, not ErrInvalidDesign", c.name, err)
+		}
+	}
+}
+
+func TestReadDesignWithCells(t *testing.T) {
+	src := `{"name":"x","source":0,"nodes":[
+		{"id":0,"kind":"source","cell":"BUFX8","parent":-1},
+		{"id":1,"kind":"sink","cell":"DFF","parent":0}]}`
+	known := func(name string) bool { return name == "BUFX8" }
+	// Sink cells are not checked; source/buffer cells are.
+	if _, err := ReadDesign(strings.NewReader(src), WithCells(known)); err != nil {
+		t.Fatalf("known cell rejected: %v", err)
+	}
+	_, err := ReadDesign(strings.NewReader(src), WithCells(func(string) bool { return false }))
+	if !errors.Is(err, resilience.ErrInvalidDesign) {
+		t.Fatalf("unknown cell: err = %v", err)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("content = %q", b)
+	}
+	// A failing write leaves the previous contents intact and no temp litter.
+	sentinel := fmt.Errorf("disk on fire")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("content after failed write = %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %v", ents)
 	}
 }
 

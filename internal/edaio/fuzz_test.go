@@ -1,0 +1,53 @@
+package edaio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"skewvar/internal/resilience"
+	"skewvar/internal/tech"
+	"skewvar/internal/testgen"
+)
+
+// FuzzReadDesign asserts the parser's contract on arbitrary input: it must
+// never panic, and every rejection is either a decode error or a typed
+// ErrInvalidDesign. Any input it accepts must re-serialize and parse again
+// cleanly (the accepted set is closed under round-tripping).
+func FuzzReadDesign(f *testing.F) {
+	d, _, err := testgen.Build(tech.Default28nm(), testgen.CLS1v1(40))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteDesign(&valid, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","parent":-1}]}`))
+	f.Add([]byte(`{"name":"x","source":0,"nodes":[{"id":0,"kind":"source","x":"NaN","parent":-1}]}`))
+	f.Add([]byte(`{"nodes":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDesign(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatal("non-nil design returned with error")
+			}
+			return
+		}
+		if got == nil || got.Tree == nil {
+			t.Fatal("nil design accepted without error")
+		}
+		var buf bytes.Buffer
+		if err := WriteDesign(&buf, got); err != nil {
+			t.Fatalf("accepted design failed to serialize: %v", err)
+		}
+		if _, err := ReadDesign(&buf); err != nil {
+			if errors.Is(err, resilience.ErrInvalidDesign) {
+				t.Fatalf("accepted design rejected on round trip: %v", err)
+			}
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"skewvar/internal/core"
@@ -35,13 +36,13 @@ func Figure8(cfg Config) (*Figure8Result, *report.Table, error) {
 	a0 := e.Timer.Analyze(e.Design.Tree)
 	alphas := sta.Alphas(a0, pairs)
 
-	guided, err := core.LocalOpt(e.Timer, e.Design, alphas, core.LocalConfig{
+	guided, err := core.LocalOpt(context.Background(), e.Timer, e.Design, alphas, core.LocalConfig{
 		Model: model, MaxIters: cfg.LocalIters, TopPairs: cfg.TopPairs, Seed: cfg.Seed,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	random, err := core.LocalOpt(e.Timer, e.Design, alphas, core.LocalConfig{
+	random, err := core.LocalOpt(context.Background(), e.Timer, e.Design, alphas, core.LocalConfig{
 		Model: model, MaxIters: cfg.LocalIters, TopPairs: cfg.TopPairs,
 		Seed: cfg.Seed + 5, Random: true,
 	})

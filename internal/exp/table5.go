@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"skewvar/internal/core"
@@ -51,7 +52,7 @@ func Table5(cfg Config) (*Table5Result, *report.Table, error) {
 			"Skew@c0", "Skew@c1", "Skew@c2/3", "#Cells", "Power(mW)", "Area(um2)"},
 	}
 	for _, e := range envs {
-		fr, err := core.RunFlows(e.Timer, ch, e.Design, model, flowConfig(cfg))
+		fr, err := core.RunFlows(context.Background(), e.Timer, ch, e.Design, model, flowConfig(cfg))
 		if err != nil {
 			return nil, nil, fmt.Errorf("exp: flows on %s: %w", e.Variant.Name, err)
 		}

@@ -1,0 +1,237 @@
+// Package faults is a deterministic, seedable fault-injection harness for
+// the optimization flows. Hook points in the flow code ask an Injector
+// whether to fail (`inj.Fire(hook)`); an unarmed or nil injector never
+// fires, so production paths pay one nil check per hook.
+//
+// Injection plans are deterministic: a hook armed with At fires at exact
+// 1-based call indices; First fires on the first N calls; Prob fires with the
+// given probability from a seeded generator, so a (seed, spec) pair always
+// replays the same fault sequence. Every degradation path in the flows is
+// exercised in tests through these hooks.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Hook names. Flow code fires these at its fault boundaries.
+const (
+	// LPSolve fails a global-optimization LP solve (typed as
+	// resilience.ErrSolver by the caller).
+	LPSolve = "lp-solve"
+
+	// NaNDelay corrupts one arc's timing with NaN before the LP is built,
+	// exercising the solver-input validation and block-skip path.
+	NaNDelay = "nan-delay"
+
+	// CheckpointWrite fails a checkpoint file write (all retry attempts see
+	// the same armed hook, so First=n controls how many attempts fail).
+	CheckpointWrite = "checkpoint-write"
+
+	// MoveApply fails one local-optimization move trial, exercising the
+	// skip-and-log path.
+	MoveApply = "move-apply"
+)
+
+// Hooks lists every known hook name.
+var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply}
+
+// Spec is one hook's injection plan. Zero-value fields are inactive; a Spec
+// with no active field always fires (used for "always fail" plans). Max, when
+// positive, caps the total number of fires regardless of plan.
+type Spec struct {
+	Prob  float64 // fire with this probability per call
+	At    []int   // fire at these exact 1-based call indices
+	First int     // fire on the first N calls
+	Max   int     // cap on total fires (0 = unlimited)
+}
+
+type hookState struct {
+	spec  Spec
+	at    map[int]bool
+	calls int
+	fired int
+}
+
+// Injector decides, per hook call, whether to inject a fault. Safe for
+// concurrent use; a nil Injector never fires.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hooks map[string]*hookState
+}
+
+// New returns an injector with no armed hooks, seeding the probabilistic
+// plans' generator.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), hooks: map[string]*hookState{}}
+}
+
+// Arm installs (or replaces) the plan for a hook and returns the injector
+// for chaining.
+func (in *Injector) Arm(hook string, spec Spec) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := &hookState{spec: spec}
+	if len(spec.At) > 0 {
+		st.at = make(map[int]bool, len(spec.At))
+		for _, i := range spec.At {
+			st.at[i] = true
+		}
+	}
+	in.hooks[hook] = st
+	return in
+}
+
+// Fire reports whether this call of the hook should fail, advancing the
+// hook's deterministic call counter. Nil injectors and unarmed hooks never
+// fire.
+func (in *Injector) Fire(hook string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.hooks[hook]
+	if st == nil {
+		return false
+	}
+	st.calls++
+	if st.spec.Max > 0 && st.fired >= st.spec.Max {
+		return false
+	}
+	fire := false
+	switch {
+	case st.at != nil:
+		fire = st.at[st.calls]
+	case st.spec.First > 0:
+		fire = st.calls <= st.spec.First
+	case st.spec.Prob > 0:
+		fire = in.rng.Float64() < st.spec.Prob
+	default:
+		fire = true
+	}
+	if fire {
+		st.fired++
+	}
+	return fire
+}
+
+// Calls returns how many times the hook has been consulted. Nil-safe.
+func (in *Injector) Calls(hook string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.hooks[hook]; st != nil {
+		return st.calls
+	}
+	return 0
+}
+
+// Fired returns how many faults the hook has injected. Nil-safe.
+func (in *Injector) Fired(hook string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.hooks[hook]; st != nil {
+		return st.fired
+	}
+	return 0
+}
+
+// String renders the armed hooks and their progress ("lp-solve:2/5 ...") in
+// sorted order, for logs.
+func (in *Injector) String() string {
+	if in == nil {
+		return "<nil>"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.hooks))
+	for h := range in.hooks {
+		names = append(names, h)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, h := range names {
+		st := in.hooks[h]
+		parts = append(parts, fmt.Sprintf("%s:%d/%d", h, st.fired, st.calls))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse builds an injector from a comma-separated spec string:
+//
+//	hook                  always fire
+//	hook:always           always fire
+//	hook:p=0.5            fire with probability 0.5 (seeded)
+//	hook:at=3             fire on exactly the 3rd call
+//	hook:first=2          fire on the first 2 calls
+//	hook:p=0.5+max=3      attributes combine with '+'
+//
+// Unknown hook names are rejected so typos fail loudly.
+func Parse(spec string, seed int64) (*Injector, error) {
+	in := New(seed)
+	known := map[string]bool{}
+	for _, h := range Hooks {
+		known[h] = true
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, attrs, _ := strings.Cut(item, ":")
+		if !known[name] {
+			return nil, fmt.Errorf("faults: unknown hook %q (known: %s)", name, strings.Join(Hooks, " "))
+		}
+		var s Spec
+		if attrs != "" && attrs != "always" {
+			for _, kv := range strings.Split(attrs, "+") {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("faults: bad attribute %q in %q", kv, item)
+				}
+				switch key {
+				case "p":
+					f, err := strconv.ParseFloat(val, 64)
+					if err != nil || f < 0 || f > 1 {
+						return nil, fmt.Errorf("faults: bad probability %q in %q", val, item)
+					}
+					s.Prob = f
+				case "at":
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("faults: bad call index %q in %q", val, item)
+					}
+					s.At = append(s.At, n)
+				case "first":
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("faults: bad first-count %q in %q", val, item)
+					}
+					s.First = n
+				case "max":
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("faults: bad max-count %q in %q", val, item)
+					}
+					s.Max = n
+				default:
+					return nil, fmt.Errorf("faults: unknown attribute %q in %q", key, item)
+				}
+			}
+		}
+		in.Arm(name, s)
+	}
+	return in, nil
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilAndUnarmedNeverFire(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Fire(LPSolve) {
+		t.Fatal("nil injector fired")
+	}
+	if nilInj.Calls(LPSolve) != 0 || nilInj.Fired(LPSolve) != 0 {
+		t.Fatal("nil injector has state")
+	}
+	in := New(1)
+	for i := 0; i < 10; i++ {
+		if in.Fire(LPSolve) {
+			t.Fatal("unarmed hook fired")
+		}
+	}
+	if in.Calls(LPSolve) != 0 {
+		t.Fatal("unarmed hook counted calls")
+	}
+}
+
+func TestAlwaysAndMax(t *testing.T) {
+	in := New(1).Arm(LPSolve, Spec{Max: 2})
+	fires := 0
+	for i := 0; i < 5; i++ {
+		if in.Fire(LPSolve) {
+			fires++
+		}
+	}
+	if fires != 2 || in.Fired(LPSolve) != 2 || in.Calls(LPSolve) != 5 {
+		t.Fatalf("fires=%d fired=%d calls=%d", fires, in.Fired(LPSolve), in.Calls(LPSolve))
+	}
+	in2 := New(1).Arm(NaNDelay, Spec{})
+	for i := 0; i < 3; i++ {
+		if !in2.Fire(NaNDelay) {
+			t.Fatal("always plan did not fire")
+		}
+	}
+}
+
+func TestAtAndFirst(t *testing.T) {
+	in := New(1).Arm(LPSolve, Spec{At: []int{2, 4}})
+	var seq []bool
+	for i := 0; i < 5; i++ {
+		seq = append(seq, in.Fire(LPSolve))
+	}
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("at-plan seq = %v", seq)
+		}
+	}
+	in2 := New(1).Arm(CheckpointWrite, Spec{First: 3})
+	for i := 0; i < 5; i++ {
+		got := in2.Fire(CheckpointWrite)
+		if want := i < 3; got != want {
+			t.Fatalf("first-plan call %d = %v", i+1, got)
+		}
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed).Arm(MoveApply, Spec{Prob: 0.5})
+		var seq []bool
+		for i := 0; i < 64; i++ {
+			seq = append(seq, in.Fire(MoveApply))
+		}
+		return seq
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fault sequences")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-call sequences")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/64 times", fired)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("lp-solve:first=2, checkpoint-write, move-apply:p=0.25+max=3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Fire(LPSolve) || !in.Fire(LPSolve) || in.Fire(LPSolve) {
+		t.Fatal("first=2 plan wrong")
+	}
+	if !in.Fire(CheckpointWrite) {
+		t.Fatal("bare hook should always fire")
+	}
+	if s := in.String(); !strings.Contains(s, "lp-solve:2/3") {
+		t.Fatalf("String() = %q", s)
+	}
+	for _, bad := range []string{
+		"unknown-hook",
+		"lp-solve:p=2",
+		"lp-solve:at=0",
+		"lp-solve:first=x",
+		"lp-solve:max=0",
+		"lp-solve:nope=1",
+		"lp-solve:always+p",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	// Empty spec parses to an injector that never fires.
+	in2, err := Parse("", 1)
+	if err != nil || in2.Fire(LPSolve) {
+		t.Fatalf("empty spec: err=%v", err)
+	}
+}

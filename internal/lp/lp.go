@@ -12,6 +12,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"skewvar/internal/resilience"
 )
 
 // Inf is the canonical unbounded-bound value.
@@ -63,16 +65,39 @@ type Problem struct {
 	rowRHS   []float64
 	rowIdx   [][]int
 	rowCoef  [][]float64
+
+	err error // first build error; sticky, reported by Err and Solve
 }
 
 // NewProblem returns an empty minimization problem.
 func NewProblem() *Problem { return &Problem{} }
 
+// fail records the first build error. Invalid inputs used to panic; they are
+// now sticky errors so a flow feeding the solver corrupted data (NaN delays,
+// bad indices) degrades instead of aborting the process.
+func (p *Problem) fail(format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first invalid AddVar/AddConstraint input recorded so far,
+// or nil. Solve also reports it, so most callers need not check between
+// builder calls.
+func (p *Problem) Err() error { return p.err }
+
 // AddVar adds a variable with bounds [lo, hi] and objective coefficient
-// cost, returning its index. Use -Inf/Inf for free bounds.
+// cost, returning its index. Use -Inf/Inf for free bounds. Invalid inputs
+// (NaN, lo > hi) record a sticky error reported by Err/Solve; the variable is
+// still appended (with zeroed bounds) so indices stay consistent.
 func (p *Problem) AddVar(lo, hi, cost float64, name string) int {
-	if lo > hi {
-		panic(fmt.Sprintf("lp: variable %q has lo %v > hi %v", name, lo, hi))
+	switch {
+	case math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(cost):
+		p.fail("lp: variable %q has NaN bound or cost (lo %v, hi %v, cost %v)", name, lo, hi, cost)
+		lo, hi, cost = 0, 0, 0
+	case lo > hi:
+		p.fail("lp: variable %q has lo %v > hi %v", name, lo, hi)
+		lo, hi = 0, 0
 	}
 	p.lo = append(p.lo, lo)
 	p.hi = append(p.hi, hi)
@@ -88,15 +113,27 @@ func (p *Problem) NumVars() int { return len(p.lo) }
 func (p *Problem) NumRows() int { return len(p.rowSense) }
 
 // AddConstraint adds Σ coef[i]·x[idx[i]] (sense) rhs and returns the row
-// index. Duplicate variable indices within one row are summed.
+// index. Duplicate variable indices within one row are summed. Invalid rows
+// (length mismatch, unknown variable, NaN coefficient or RHS) record a sticky
+// error reported by Err/Solve and are dropped; the returned index is -1.
 func (p *Problem) AddConstraint(sense Sense, rhs float64, idx []int, coef []float64) int {
 	if len(idx) != len(coef) {
-		panic("lp: index/coefficient length mismatch")
+		p.fail("lp: row %d: index/coefficient length mismatch (%d vs %d)", len(p.rowSense), len(idx), len(coef))
+		return -1
+	}
+	if math.IsNaN(rhs) {
+		p.fail("lp: row %d has NaN right-hand side", len(p.rowSense))
+		return -1
 	}
 	merged := map[int]float64{}
 	for i, v := range idx {
 		if v < 0 || v >= len(p.lo) {
-			panic(fmt.Sprintf("lp: constraint references unknown variable %d", v))
+			p.fail("lp: row %d references unknown variable %d", len(p.rowSense), v)
+			return -1
+		}
+		if math.IsNaN(coef[i]) {
+			p.fail("lp: row %d has NaN coefficient for variable %d", len(p.rowSense), v)
+			return -1
 		}
 		merged[v] += coef[i]
 	}
@@ -167,8 +204,22 @@ type solver struct {
 	sinceRefactor   int
 }
 
-// Solve runs the two-phase simplex.
+// iterLimitErr builds the typed solver error for iteration-limit exhaustion
+// (also used for a numerically wedged basis, which surfaces as IterLimit).
+// Degradation paths detect it with errors.Is(err, resilience.ErrSolver).
+func iterLimitErr(iters int) error {
+	return fmt.Errorf("lp: iteration limit exhausted after %d iterations: %w", iters, resilience.ErrSolver)
+}
+
+// Solve runs the two-phase simplex. A problem with invalid build inputs
+// (see Err) fails immediately with a resilience.ErrSolver-wrapped error.
+// Iteration-limit exhaustion returns both the IterLimit-status solution and
+// a typed resilience.ErrSolver error; Infeasible and Unbounded are
+// legitimate outcomes reported via Status with a nil error.
 func (p *Problem) Solve(opt Options) (*Solution, error) {
+	if p.err != nil {
+		return nil, fmt.Errorf("lp: invalid problem: %v: %w", p.err, resilience.ErrSolver)
+	}
 	m := len(p.rowSense)
 	nS := len(p.lo)
 	if opt.FeasTol == 0 {
@@ -292,7 +343,7 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 		if st == IterLimit {
 			sol.Status = IterLimit
 			sol.Iterations = s.iters
-			return sol, nil
+			return sol, iterLimitErr(s.iters)
 		}
 		if s.objective() > 1e-6 {
 			sol.Status = Infeasible
@@ -319,7 +370,7 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 		return sol, nil
 	case IterLimit:
 		sol.Status = IterLimit
-		return sol, nil
+		return sol, iterLimitErr(s.iters)
 	}
 	sol.Status = Optimal
 	sol.X = make([]float64, nS)

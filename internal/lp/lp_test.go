@@ -1,9 +1,12 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+
+	"skewvar/internal/resilience"
 )
 
 func solveOK(t *testing.T, p *Problem) *Solution {
@@ -390,22 +393,64 @@ func TestStatusString(t *testing.T) {
 	}
 }
 
-func TestPanics(t *testing.T) {
+func TestBuildErrorsAreSticky(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(p *Problem, x int)
+	}{
+		{"lo>hi", func(p *Problem, x int) { p.AddVar(2, 1, 0, "bad") }},
+		{"nan-bound", func(p *Problem, x int) { p.AddVar(0, math.NaN(), 0, "bad") }},
+		{"nan-cost", func(p *Problem, x int) { p.AddVar(0, 1, math.NaN(), "bad") }},
+		{"len-mismatch", func(p *Problem, x int) { p.AddConstraint(LE, 0, []int{x}, []float64{1, 2}) }},
+		{"unknown-var", func(p *Problem, x int) { p.AddConstraint(LE, 0, []int{99}, []float64{1}) }},
+		{"nan-coef", func(p *Problem, x int) { p.AddConstraint(LE, 0, []int{x}, []float64{math.NaN()}) }},
+		{"nan-rhs", func(p *Problem, x int) { p.AddConstraint(LE, math.NaN(), []int{x}, []float64{1}) }},
+	}
+	for _, tc := range cases {
+		p := NewProblem()
+		x := p.AddVar(0, 1, 0, "x")
+		if p.Err() != nil {
+			t.Fatalf("%s: valid var recorded error", tc.name)
+		}
+		tc.build(p, x)
+		if p.Err() == nil {
+			t.Errorf("%s: no build error recorded", tc.name)
+			continue
+		}
+		sol, err := p.Solve(Options{})
+		if sol != nil || err == nil {
+			t.Errorf("%s: Solve = (%v, %v), want build error", tc.name, sol, err)
+		}
+		if !errors.Is(err, resilience.ErrSolver) {
+			t.Errorf("%s: Solve error %v is not ErrSolver", tc.name, err)
+		}
+	}
+	// Variable indices stay consistent after an invalid AddVar.
 	p := NewProblem()
-	x := p.AddVar(0, 1, 0, "x")
-	for _, f := range []func(){
-		func() { p.AddVar(2, 1, 0, "bad") },
-		func() { p.AddConstraint(LE, 0, []int{x}, []float64{1, 2}) },
-		func() { p.AddConstraint(LE, 0, []int{99}, []float64{1}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+	p.AddVar(0, 1, 0, "x")
+	bad := p.AddVar(1, 0, 0, "bad")
+	y := p.AddVar(0, 1, 0, "y")
+	if bad != 1 || y != 2 || p.NumVars() != 3 {
+		t.Errorf("indices after invalid var: bad=%d y=%d n=%d", bad, y, p.NumVars())
+	}
+}
+
+func TestIterLimitIsTypedSolverError(t *testing.T) {
+	// A tiny LP that needs more than one pivot, capped at one iteration.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1, "x")
+	y := p.AddVar(0, Inf, -1, "y")
+	p.AddConstraint(LE, 4, []int{x, y}, []float64{1, 2})
+	p.AddConstraint(LE, 4, []int{x, y}, []float64{2, 1})
+	sol, err := p.Solve(Options{MaxIters: 1})
+	if err == nil {
+		t.Fatal("iteration-limit exhaustion returned nil error")
+	}
+	if !errors.Is(err, resilience.ErrSolver) {
+		t.Fatalf("err = %v, want resilience.ErrSolver", err)
+	}
+	if sol == nil || sol.Status != IterLimit {
+		t.Fatalf("sol = %+v, want IterLimit status alongside the error", sol)
 	}
 }
 
