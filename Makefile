@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz
+.PHONY: tier1 vet build test race bench fuzz
 
 tier1: vet build test race
 
@@ -20,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/
+
+# Parallel STA / concurrent-trial benchmarks, recorded as benchstat-style
+# records in BENCH_pr2.json (cmd/benchjson converts the bench text and
+# derives per-group speedups against the j=1 serial baseline).
+bench:
+	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr2.json
 
 # 30-second fuzz pass over the design reader's validation layer.
 fuzz:

@@ -13,6 +13,7 @@ package skewvar
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -313,6 +314,66 @@ func BenchmarkSTAAnalyze(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tm.Analyze(d.Tree)
+	}
+}
+
+// BenchmarkSTAAnalyzeParallel sweeps the timer's per-corner worker pool.
+// "warm" reuses the net cache across analyses (the flow's steady state);
+// "cold" flushes it first, so the RC build cost is measured too. j=1 is the
+// exact serial path the speedups are measured against.
+func BenchmarkSTAAnalyzeParallel(b *testing.B) {
+	base, _ := exp.Technology()
+	d, tm, err := testgen.Build(base, testgen.CLS1v1(280))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"warm", "cold"} {
+		for _, j := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/j=%d", mode, j), func(b *testing.B) {
+				tm.Workers = j
+				tm.FlushNetCache()
+				if mode == "warm" {
+					tm.Analyze(d.Tree)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						tm.FlushNetCache()
+					}
+					tm.Analyze(d.Tree)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLocalMovesParallel sweeps the local optimizer's concurrent trial
+// pool over a fixed 3-iteration run (identical accepted moves at every j).
+func BenchmarkLocalMovesParallel(b *testing.B) {
+	cfg := benchConfig()
+	model, err := exp.TrainedModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envs, err := exp.BuildTestcases(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := envs[0]
+	pairs := env.Design.TopPairs(cfg.TopPairs)
+	a0 := env.Timer.Analyze(env.Design.Tree)
+	alphas := sta.Alphas(a0, pairs)
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LocalOpt(context.Background(), env.Timer, env.Design, alphas, core.LocalConfig{
+					Model: model, TopPairs: cfg.TopPairs, MaxIters: 3,
+					Seed: cfg.Seed, Workers: j,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` text (stdin) into a JSON
+// record (stdout) that keeps the benchstat-compatible fields per benchmark
+// and derives, for every sub-benchmark group swept over worker counts
+// (names ending in "/j=N"), the speedup against that group's j=1 serial
+// baseline. The host CPU count is recorded alongside: on a single-CPU
+// machine the parallel speedups are bounded by 1 and only the cache effects
+// (warm vs cold) are visible.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Parallel -benchmem . | benchjson > BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line, in benchstat's vocabulary.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	NumCPU     int                `json:"num_cpu"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups_vs_j1,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	rep := Report{NumCPU: runtime.NumCPU()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		b.Iterations, _ = strconv.Atoi(m[2])
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// speedups derives ns(j=1)/ns(j=N) per "…/j=N" group. Names keep the
+// "-<procs>" suffix go test appends, which must be stripped before matching.
+func speedups(bs []Benchmark) map[string]float64 {
+	base := map[string]float64{} // group prefix → j=1 ns/op
+	type entry struct {
+		key string
+		ns  float64
+	}
+	var others []entry
+	for _, b := range bs {
+		name := b.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		i := strings.LastIndex(name, "/j=")
+		if i < 0 {
+			continue
+		}
+		group, js := name[:i], name[i+len("/j="):]
+		if js == "1" {
+			base[group] = b.NsPerOp
+		} else {
+			others = append(others, entry{group + "/j=" + js, b.NsPerOp})
+		}
+	}
+	if len(base) == 0 {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, e := range others {
+		group := e.key[:strings.LastIndex(e.key, "/j=")]
+		if b, ok := base[group]; ok && e.ns > 0 {
+			out[e.key] = b / e.ns
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"skewvar/internal/core"
@@ -56,6 +57,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file")
 	ckptEvery := flag.Int("checkpoint-every", 1, "local iterations between checkpoint saves")
 	timeout := flag.Duration("timeout", 0, "overall flow deadline (0 = none)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for per-corner STA and concurrent move trials (1 = exact serial paths; results are identical at any -j)")
 	faultSpec := flag.String("faults", "", "deterministic fault injection spec, e.g. 'lp-solve:first=1,checkpoint-write:p=0.5' (testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	flag.Parse()
@@ -101,6 +103,10 @@ func main() {
 			*checkpoint, cp.Done, cp.Stage, cp.Iter)
 	}
 
+	if *jobs < 1 {
+		usagef("-j must be >= 1 (got %d)", *jobs)
+	}
+	tm.Workers = *jobs
 	pairSet := d.TopPairs(*pairs)
 	a0 := tm.Analyze(d.Tree)
 	alphas := sta.Alphas(a0, pairSet)
@@ -112,6 +118,7 @@ func main() {
 		Global:   core.GlobalConfig{MaxPairsPerLP: *pairs},
 		Local:    core.LocalConfig{MaxIters: *iters},
 		Only:     stages,
+		Workers:  *jobs,
 		Faults:   inj,
 		Checkpoint: core.CheckpointConfig{
 			Path:       *checkpoint,

@@ -92,7 +92,11 @@ func BuildDataset(t *tech.Tech, cases, movesPer int, seed int64) *Dataset {
 			if err := eco.Apply(post, t, lg, mv); err != nil {
 				continue
 			}
-			postA := tm.Analyze(post)
+			// Incremental re-timing against the case's baseline: only the
+			// move's dirty nets are rebuilt, instead of a full analysis per
+			// training sample (the targets agree within slew-convergence
+			// tolerance; see the dataset regression test).
+			postA := tm.AnalyzeIncremental(post, preA, moveDirty(mv))
 			for _, st := range affectedStages(post, mv) {
 				d, pin := st[0], st[1]
 				for kk := 0; kk < k; kk++ {

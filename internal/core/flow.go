@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"skewvar/internal/ctree"
 	"skewvar/internal/faults"
@@ -50,6 +51,13 @@ type FlowConfig struct {
 	// "global-local" implies the global stage runs as its input even when
 	// "global" itself is not requested.
 	Only []string
+
+	// Workers bounds the flow's parallelism — the timer's per-corner STA
+	// fan-out and the local stage's concurrent move trials (cmd/skewopt's
+	// -j flag). 0 = runtime.GOMAXPROCS(0); 1 = the exact serial paths.
+	// Results — FlowResult metrics and checkpoint bytes — are identical at
+	// any setting. Stage-level Workers values, when set, take precedence.
+	Workers int
 
 	// Faults is an optional deterministic fault injector threaded into every
 	// stage (nil = no injection).
@@ -119,6 +127,12 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tm.Workers = workers
+
 	rec := resilience.NewRecorder()
 	a0 := tm.Analyze(d.Tree)
 	alphas := sta.Alphas(a0, pairs)
@@ -188,6 +202,9 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	if gcfg.Rec == nil {
 		gcfg.Rec = rec
 	}
+	if gcfg.Workers == 0 {
+		gcfg.Workers = workers
+	}
 	lcfg := cfg.Local
 	lcfg.Model = model
 	lcfg.TopPairs = cfg.TopPairs
@@ -196,6 +213,9 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	}
 	if lcfg.Rec == nil {
 		lcfg.Rec = rec
+	}
+	if lcfg.Workers == 0 {
+		lcfg.Workers = workers
 	}
 
 	// runLocal runs one local stage with mid-stage checkpointing and resume,

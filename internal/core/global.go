@@ -38,6 +38,11 @@ type GlobalConfig struct {
 	Faults *faults.Injector
 	Rec    *resilience.Recorder
 
+	// Workers, when positive, is installed as the timer's per-corner STA
+	// parallelism for the run (normally threaded in by RunFlows; the LP
+	// itself is serial). Results are identical at any setting.
+	Workers int
+
 	// FreeDelta switches to the paper's literal formulation with an
 	// independent Δ variable per (arc, corner), guarded only by the
 	// W-window (11) via row generation. The default (false) parameterizes
@@ -128,6 +133,9 @@ func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design
 	pairs := d.TopPairs(cfg.TopPairs)
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("core: no sink pairs")
+	}
+	if cfg.Workers > 0 {
+		tm.Workers = cfg.Workers
 	}
 	// Envelopes for every corner pair (constraint (11) / Figure 2).
 	K := tm.Tech.NumCorners()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,7 +33,14 @@ type LocalConfig struct {
 	Random      bool    // random-move baseline (Figure 8's comparison)
 	FullSTA     bool    // force full re-analysis for every golden trial (default: incremental timing)
 	Seed        int64
-	Workers     int // parallelism (default NumCPU)
+
+	// Workers bounds the concurrency of candidate-move trials and predictor
+	// evaluation, and is installed as the timer's per-corner STA parallelism
+	// for the duration of the run (default runtime.GOMAXPROCS(0); 1 = the
+	// exact serial path). Results are identical at any setting: trials write
+	// to indexed slots and the winner is reduced deterministically by
+	// (score, move index), never by completion order.
+	Workers int
 
 	// StartIter resumes the iteration count from a checkpoint: the loop
 	// runs iterations [StartIter, MaxIters) against the (already partially
@@ -70,7 +78,7 @@ func (c *LocalConfig) setDefaults() {
 		c.MaxMoves = 4000
 	}
 	if c.Workers == 0 {
-		c.Workers = runtime.NumCPU()
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -118,6 +126,7 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 		return nil, fmt.Errorf("core: no sink pairs")
 	}
 	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
+	tm.Workers = cfg.Workers
 
 	cur := d.Tree.Clone()
 	a0 := tm.Analyze(cur)
@@ -150,8 +159,14 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 		if len(moves) == 0 {
 			break
 		}
-		scored := predictGains(tm, cur, a, alphas, pairs, pairsBySink, moves, cfg, lg)
+		scored := predictGains(ctx, tm, cur, a, alphas, pairs, pairsBySink, moves, cfg, lg)
 		res.MovesPred += len(moves)
+		// A cancellation that landed mid-predict leaves unevaluated slots;
+		// don't interpret them as converged — stop here with best-so-far.
+		if err := resilience.Canceled(ctx); err != nil {
+			runErr = err
+			break
+		}
 		if cfg.Random {
 			rng.Shuffle(len(scored), func(i, j int) { scored[i], scored[j] = scored[j], scored[i] })
 		} else {
@@ -183,50 +198,70 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 				tree *ctree.Tree
 				v    float64
 				ok   bool
-				idx  int
 			}
 			trials := make([]trial, len(cands))
-			var wg sync.WaitGroup
+			// Fault decisions are pre-drawn serially in move order: the
+			// injector's per-hook call counter (and seeded rng) then advances
+			// identically at any worker count, so an armed plan replays the
+			// same fault sequence whether trials run serial or concurrent.
+			// The faults themselves still take effect inside the workers.
+			skipMove := make([]bool, len(cands))
+			nanDelay := make([]bool, len(cands))
 			for i := range cands {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					// A move-apply fault (injected I/O-level failure) or a
-					// panic inside the trial skips this one move; the rest
-					// of the batch still competes.
-					if cfg.Faults.Fire(faults.MoveApply) {
-						cfg.Rec.Record("move-apply")
-						return
-					}
-					if err := resilience.Safely("local move trial", func() error {
-						t2 := cur.Clone()
-						if err := eco.Apply(t2, tm.Tech, lg, cands[i].move); err != nil {
-							return nil
-						}
-						if t2.Validate() != nil {
-							return nil
-						}
-						var a2 *sta.Analysis
-						if cfg.FullSTA {
-							a2 = tm.Analyze(t2)
-						} else {
-							a2 = tm.AnalyzeIncremental(t2, a, moveDirty(cands[i].move))
-						}
-						v2 := sta.SumVariation(a2, alphas, pairs)
-						for k := 0; k < a2.K; k++ {
-							if sta.MaxAbsSkew(a2, k, pairs) > sta.SkewGuard(skew0[k]) {
-								return nil // local-skew degradation
-							}
-						}
-						trials[i] = trial{tree: t2, v: v2, ok: true, idx: i}
+				skipMove[i] = cfg.Faults.Fire(faults.MoveApply)
+				nanDelay[i] = cfg.Faults.Fire(faults.NaNDelay)
+			}
+			runIndexed(ctx, cfg.Workers, len(cands), func(i int) {
+				// A move-apply fault (injected I/O-level failure) or a
+				// panic inside the trial skips this one move; the rest
+				// of the batch still competes.
+				if skipMove[i] {
+					cfg.Rec.Record("move-apply")
+					return
+				}
+				if err := resilience.Safely("local move trial", func() error {
+					// Copy-on-write clone: only the nodes this move mutates
+					// are private; the rest are shared, read-only, with the
+					// concurrent trials.
+					t2 := cur.CloneShared(mutableForMove(cur, cands[i].move)...)
+					if err := eco.Apply(t2, tm.Tech, lg, cands[i].move); err != nil {
 						return nil
-					}); err != nil {
+					}
+					if t2.Validate() != nil {
+						return nil
+					}
+					var a2 *sta.Analysis
+					if cfg.FullSTA {
+						a2 = tm.Analyze(t2)
+					} else {
+						a2 = tm.AnalyzeIncremental(t2, a, moveDirty(cands[i].move))
+					}
+					v2 := sta.SumVariation(a2, alphas, pairs)
+					if nanDelay[i] {
+						v2 = math.NaN() // injected timer corruption
+					}
+					if math.IsNaN(v2) {
+						return fmt.Errorf("%w: NaN ΣV evaluating move %s",
+							resilience.ErrTimer, cands[i].move)
+					}
+					for k := 0; k < a2.K; k++ {
+						if sta.MaxAbsSkew(a2, k, pairs) > sta.SkewGuard(skew0[k]) {
+							return nil // local-skew degradation
+						}
+					}
+					trials[i] = trial{tree: t2, v: v2, ok: true}
+					return nil
+				}); err != nil {
+					if errors.Is(err, resilience.ErrTimer) {
+						cfg.Rec.Record("nan-delay")
+					} else {
 						cfg.Rec.Record("move-panic")
 					}
-				}(i)
-			}
-			wg.Wait()
+				}
+			})
 			res.MovesTried += len(cands)
+			// Deterministic reducer: the winner is the minimum of (ΣV, move
+			// index) over improving trials — independent of scheduling.
 			best := -1
 			for i, tr := range trials {
 				if tr.ok && tr.v < curVar-1e-6 && (best < 0 || tr.v < trials[best].v) {
@@ -250,6 +285,12 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 		}
 		if cfg.OnIter != nil {
 			cfg.OnIter(iter+1, cur)
+		}
+		// A batch interrupted by cancellation may have accepted nothing;
+		// report the interruption rather than mistaking it for convergence.
+		if err := resilience.Canceled(ctx); err != nil {
+			runErr = err
+			break
 		}
 		if !accepted {
 			break
@@ -394,8 +435,10 @@ func (s *MoveScorer) preEstimates(d, p ctree.NodeID, k int) [4]float64 {
 	return v
 }
 
-// predictGains evaluates every candidate move concurrently.
-func predictGains(tm *sta.Timer, cur *ctree.Tree, a *sta.Analysis, alphas []float64, pairs []ctree.SinkPair, pairsBySink map[ctree.NodeID][]int, moves []eco.Move, cfg LocalConfig, lg *legalize.Legalizer) []scoredMove {
+// predictGains evaluates every candidate move on the worker pool (inline
+// when Workers <= 1). Scores land in indexed slots, so the ranking that
+// follows is identical at any worker count.
+func predictGains(ctx context.Context, tm *sta.Timer, cur *ctree.Tree, a *sta.Analysis, alphas []float64, pairs []ctree.SinkPair, pairsBySink map[ctree.NodeID][]int, moves []eco.Move, cfg LocalConfig, lg *legalize.Legalizer) []scoredMove {
 	caps := make([]float64, a.K)
 	for k := range caps {
 		caps[k] = sta.MaxAbsSkew(a, k, pairs)
@@ -407,25 +450,19 @@ func predictGains(tm *sta.Timer, cur *ctree.Tree, a *sta.Analysis, alphas []floa
 		preCache: map[moveScorerKey][4]float64{},
 	}
 	out := make([]scoredMove, len(moves))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for mi, mv := range moves {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(mi int, mv eco.Move) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			gain := math.Inf(-1)
-			if err := resilience.Safely("predict gain", func() error {
-				gain = sc.Gain(mv)
-				return nil
-			}); err != nil {
-				cfg.Rec.Record("predict-panic")
-			}
-			out[mi] = scoredMove{move: mv, gain: gain}
-		}(mi, mv)
+	for i := range out {
+		out[i] = scoredMove{move: moves[i], gain: math.Inf(-1)}
 	}
-	wg.Wait()
+	runIndexed(ctx, cfg.Workers, len(moves), func(mi int) {
+		gain := math.Inf(-1)
+		if err := resilience.Safely("predict gain", func() error {
+			gain = sc.Gain(moves[mi])
+			return nil
+		}); err != nil {
+			cfg.Rec.Record("predict-panic")
+		}
+		out[mi].gain = gain
+	})
 	return out
 }
 
@@ -435,7 +472,7 @@ func predictGains(tm *sta.Timer, cur *ctree.Tree, a *sta.Analysis, alphas []floa
 // predicted variation reduction over the touched pairs is summed.
 func (s *MoveScorer) Gain(mv eco.Move) float64 {
 	tm, cur, a, alphas, pairs, pairsBySink := s.tm, s.cur, s.a, s.alphas, s.pairs, s.pairsBySink
-	post := cur.Clone()
+	post := cur.CloneShared(mutableForMove(cur, mv)...)
 	if err := eco.Apply(post, tm.Tech, s.lg, mv); err != nil {
 		return math.Inf(-1)
 	}
@@ -498,50 +535,58 @@ func (s *MoveScorer) Gain(mv eco.Move) float64 {
 	// Surgery also changes the path itself: arrival(child) delta must be
 	// measured against the old path, which the head-delta of the new stage
 	// (predicted vs golden-pre fallback) already encodes.
-	var gain float64
+	// Touched pairs are summed in ascending pair-index order: float addition
+	// is not associative, and a map-order walk here would make the predicted
+	// gain drift by an ulp from run to run, breaking the bit-identical
+	// worker-count contract.
 	seen := map[int]bool{}
+	var touched []int
 	for sid := range sinkDelta {
 		for _, pi := range pairsBySink[sid] {
-			if seen[pi] {
-				continue
+			if !seen[pi] {
+				seen[pi] = true
+				touched = append(touched, pi)
 			}
-			seen[pi] = true
-			p := pairs[pi]
-			oldV := sta.PairVariation(a, alphas, p)
-			newV := 0.0
-			dA, dB := sinkDelta[p.A], sinkDelta[p.B]
-			for k := 0; k < K; k++ {
-				sk := a.Skew(k, p.A, p.B)
+		}
+	}
+	sort.Ints(touched)
+	var gain float64
+	for _, pi := range touched {
+		p := pairs[pi]
+		oldV := sta.PairVariation(a, alphas, p)
+		newV := 0.0
+		dA, dB := sinkDelta[p.A], sinkDelta[p.B]
+		for k := 0; k < K; k++ {
+			sk := a.Skew(k, p.A, p.B)
+			if dA != nil {
+				sk += dA[k]
+			}
+			if dB != nil {
+				sk -= dB[k]
+			}
+			// Predicted local-skew guard: a move whose predicted |skew|
+			// pierces the pre-move per-corner ceiling would be rejected
+			// by the golden check anyway — filter it here so compliant
+			// moves surface in the ranking (the paper's "does not
+			// degrade local skew" constraint, applied at prediction
+			// time).
+			if len(s.skewCap) > k && math.Abs(sk) > sta.SkewGuard(s.skewCap[k]) {
+				return math.Inf(-1)
+			}
+			for k2 := k + 1; k2 < K; k2++ {
+				s2 := a.Skew(k2, p.A, p.B)
 				if dA != nil {
-					sk += dA[k]
+					s2 += dA[k2]
 				}
 				if dB != nil {
-					sk -= dB[k]
+					s2 -= dB[k2]
 				}
-				// Predicted local-skew guard: a move whose predicted |skew|
-				// pierces the pre-move per-corner ceiling would be rejected
-				// by the golden check anyway — filter it here so compliant
-				// moves surface in the ranking (the paper's "does not
-				// degrade local skew" constraint, applied at prediction
-				// time).
-				if len(s.skewCap) > k && math.Abs(sk) > sta.SkewGuard(s.skewCap[k]) {
-					return math.Inf(-1)
-				}
-				for k2 := k + 1; k2 < K; k2++ {
-					s2 := a.Skew(k2, p.A, p.B)
-					if dA != nil {
-						s2 += dA[k2]
-					}
-					if dB != nil {
-						s2 -= dB[k2]
-					}
-					if d := math.Abs(alphas[k]*sk - alphas[k2]*s2); d > newV {
-						newV = d
-					}
+				if d := math.Abs(alphas[k]*sk - alphas[k2]*s2); d > newV {
+					newV = d
 				}
 			}
-			gain += oldV - newV
 		}
+		gain += oldV - newV
 	}
 	return gain
 }
@@ -562,6 +607,25 @@ func ActualMoveGain(tm *sta.Timer, tr *ctree.Tree, die geom.Rect, alphas []float
 	}
 	a2 := tm.Analyze(t2)
 	return v0 - sta.SumVariation(a2, alphas, pairs)
+}
+
+// mutableForMove lists the nodes eco.Apply mutates in place for a move, for
+// CloneShared: the perturbed buffer (Type I/II Loc and cell), the resized or
+// reassigned child, and for surgery the child's structural parent (its
+// Children splice) and the new driver (its Children append).
+func mutableForMove(tr *ctree.Tree, mv eco.Move) []ctree.NodeID {
+	switch mv.Type {
+	case eco.TypeII:
+		return []ctree.NodeID{mv.Buffer, mv.Child}
+	case eco.TypeIII:
+		out := []ctree.NodeID{mv.Child, mv.NewDrv}
+		if n := tr.Node(mv.Child); n != nil && n.Parent != ctree.NoNode {
+			out = append(out, n.Parent)
+		}
+		return out
+	default:
+		return []ctree.NodeID{mv.Buffer}
+	}
 }
 
 // moveDirty lists the nodes whose electrical context a move changes, for

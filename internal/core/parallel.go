@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"skewvar/internal/resilience"
+)
+
+// runIndexed runs fn(i) for every i in [0, n), bounded by workers. With
+// workers <= 1 the calls run inline in index order — the exact serial path,
+// no goroutines. Otherwise min(workers, n) goroutines drain an index queue;
+// fn must write only state owned by index i. Determinism therefore does not
+// depend on scheduling: every fn(i) computes the same value at any worker
+// count, and callers reduce over the indexed results in index order.
+//
+// A canceled context stops new indices from being dispatched; indices
+// already started run to completion, and the pool is fully drained before
+// return — no goroutine outlives the call.
+func runIndexed(ctx context.Context, workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if resilience.Canceled(ctx) != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if resilience.Canceled(ctx) != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -197,6 +197,38 @@ func (t *Tree) Clone() *Tree {
 	return c
 }
 
+// CloneShared returns a copy-on-write clone for a local edit: the node table
+// is fresh, but node objects are shared with the original except for the
+// listed mutable nodes (and the source, whose Children an insertion under
+// the root would touch), which are deep-copied. Callers must list every node
+// the edit will mutate in place — including the parent of any node they
+// append, since AddNode grows the parent's Children. Shared nodes must be
+// treated as read-only.
+//
+// This is what makes concurrent move trials cheap: a trial clones O(move)
+// nodes instead of O(design), and trials racing on the same base tree only
+// ever read the shared nodes.
+func (t *Tree) CloneShared(mutable ...NodeID) *Tree {
+	c := &Tree{Source: t.Source, Nodes: make([]*Node, len(t.Nodes))}
+	copy(c.Nodes, t.Nodes)
+	deep := func(id NodeID) {
+		n := t.Node(id)
+		if n == nil {
+			return
+		}
+		cp := *n
+		cp.Children = append([]NodeID(nil), n.Children...)
+		c.Nodes[id] = &cp
+	}
+	deep(t.Source)
+	for _, id := range mutable {
+		if id != NoNode && id != t.Source {
+			deep(id)
+		}
+	}
+	return c
+}
+
 // Sinks returns all sink node IDs in ascending ID order.
 func (t *Tree) Sinks() []NodeID {
 	var out []NodeID

@@ -218,6 +218,80 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestCloneShared(t *testing.T) {
+	tr, ids := buildSmall(t)
+	cp := tr.CloneShared(ids["b2"], ids["s1"])
+	// Listed nodes (and the source) are deep copies; everything else shares
+	// the original node objects.
+	for _, id := range []NodeID{ids["b2"], ids["s1"], tr.Source} {
+		if cp.Node(id) == tr.Node(id) {
+			t.Errorf("node %d listed as mutable but shared", id)
+		}
+	}
+	for _, id := range []NodeID{ids["b1"], ids["tap"], ids["b3"], ids["s2"], ids["s3"]} {
+		if cp.Node(id) != tr.Node(id) {
+			t.Errorf("unlisted node %d was deep-copied", id)
+		}
+	}
+	// Mutating a listed node never reaches the original.
+	cp.Node(ids["b2"]).Loc = geom.Pt(999, 999)
+	cp.Node(ids["b2"]).CellName = "CKINVX8"
+	cp.Node(ids["s1"]).Detour = 42
+	if tr.Node(ids["b2"]).Loc.X == 999 || tr.Node(ids["b2"]).CellName == "CKINVX8" ||
+		tr.Node(ids["s1"]).Detour == 42 {
+		t.Error("mutation of a listed node leaked into the original")
+	}
+	// Appending under a listed parent grows only the clone's table.
+	cp.AddNode(KindSink, geom.Pt(50, 10), "", ids["b2"])
+	if tr.NumNodes() == cp.NumNodes() {
+		t.Error("clone shares the node table")
+	}
+	if len(tr.Node(ids["b2"]).Children) != 1 {
+		t.Error("append under a listed parent mutated the original")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CloneShared with the full mutation set of a surgery edit behaves
+// exactly like a deep Clone for the edit, while the original stays bitwise
+// intact.
+func TestCloneSharedSurgeryMatchesClone(t *testing.T) {
+	tr, ids := buildSmall(t)
+	snapshot := tr.Clone()
+	// Move s1 from b2 to b3: mutates s1 (Parent/Detour), b2 (Children splice),
+	// b3 (Children append).
+	cs := tr.CloneShared(ids["s1"], ids["b2"], ids["b3"])
+	deep := tr.Clone()
+	if err := cs.ReassignParent(ids["s1"], ids["b3"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := deep.ReassignParent(ids["s1"], ids["b3"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatalf("shared clone invalid after surgery: %v", err)
+	}
+	for i := range deep.Nodes {
+		a, b := cs.Nodes[i], deep.Nodes[i]
+		if a.Parent != b.Parent || a.Detour != b.Detour ||
+			a.CellName != b.CellName || len(a.Children) != len(b.Children) {
+			t.Fatalf("node %d differs between CloneShared and Clone after surgery", i)
+		}
+	}
+	for i := range tr.Nodes {
+		a, b := tr.Nodes[i], snapshot.Nodes[i]
+		if a.Parent != b.Parent || a.Detour != b.Detour ||
+			a.CellName != b.CellName || len(a.Children) != len(b.Children) {
+			t.Fatalf("original node %d mutated through the shared clone", i)
+		}
+	}
+}
+
 func TestValidateCatchesCorruption(t *testing.T) {
 	tr, ids := buildSmall(t)
 	tr.Node(ids["b1"]).Parent = ids["s1"] // break cross-link

@@ -40,6 +40,11 @@ var (
 
 	// ErrPanic reports a panic recovered at a flow boundary.
 	ErrPanic = errors.New("recovered panic")
+
+	// ErrTimer reports corrupted timing output — a NaN objective from an
+	// analysis (injected or real) detected before it could poison an
+	// acceptance decision.
+	ErrTimer = errors.New("timer corruption")
 )
 
 // Canceled converts a context's error into the taxonomy (nil if the context

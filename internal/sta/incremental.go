@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"skewvar/internal/ctree"
-	"skewvar/internal/rctree"
 )
 
 // slewConvergedEps is the input-slew change (ps) below which a downstream
@@ -21,6 +20,14 @@ const slewConvergedEps = 0.01
 // re-interpolating tables, so the cost of a leaf-level move is proportional
 // to the affected subtree, not the design.
 //
+// Like Analyze, corners propagate independently across the timer's worker
+// pool, and dirty-net recomputation goes through the hash-validated net
+// cache: clean nets hit the baseline tree's entries untouched, dirty nets
+// miss on their changed hash and are rebuilt — the cache is invalidated for
+// exactly the dirty nets. The full/offset decision is made per corner (a
+// net can have converged slews at one corner and not another), which stays
+// within the same slew-convergence tolerance as the joint decision.
+//
 // The result is equivalent to Analyze within slew-convergence tolerance
 // (picoseconds-e-3); see the equivalence tests.
 func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctree.NodeID) *Analysis {
@@ -29,28 +36,6 @@ func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctre
 	a := &Analysis{K: K, MaxLat: make([]float64, K)}
 	a.Arrive = make([][]float64, K)
 	a.Slew = make([][]float64, K)
-	for k := 0; k < K; k++ {
-		a.Arrive[k] = make([]float64, n)
-		a.Slew[k] = make([]float64, n)
-		for i := 0; i < n; i++ {
-			if k < base.K && i < len(base.Arrive[k]) {
-				a.Arrive[k][i] = base.Arrive[k][i]
-				a.Slew[k][i] = base.Slew[k][i]
-			} else {
-				a.Arrive[k][i] = math.NaN()
-				a.Slew[k][i] = math.NaN()
-			}
-		}
-		a.Arrive[k][tr.Source] = 0
-		a.Slew[k][tr.Source] = tm.SourceSlew
-	}
-	baseAt := func(k int, id ctree.NodeID) (arr, slew float64, ok bool) {
-		if k >= base.K || int(id) >= len(base.Arrive[k]) {
-			return 0, 0, false
-		}
-		arr, slew = base.Arrive[k][id], base.Slew[k][id]
-		return arr, slew, !math.IsNaN(arr)
-	}
 
 	recompute := make(map[ctree.NodeID]bool, 2*len(dirty))
 	for _, d := range dirty {
@@ -66,107 +51,81 @@ func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctre
 		}
 	}
 
-	for _, id := range tr.Topo() {
-		node := tr.Node(id)
-		if node.Kind != ctree.KindSource && node.Kind != ctree.KindBuffer {
-			continue
+	drivers := tm.drivingNodes(tr)
+	sinks := tr.Sinks()
+	cache := tm.netcache()
+	tm.forEachCorner(K, func(k int) {
+		arr := make([]float64, n)
+		slw := make([]float64, n)
+		var bArr, bSlw []float64
+		if k < base.K {
+			bArr, bSlw = base.Arrive[k], base.Slew[k]
 		}
-		needFull := recompute[id]
-		var arrDelta []float64
-		if !needFull {
-			for k := 0; k < K; k++ {
-				bArr, bSlew, ok := baseAt(k, id)
-				if !ok {
-					needFull = true
-					break
-				}
-				if math.Abs(a.Slew[k][id]-bSlew) > slewConvergedEps {
-					needFull = true
-					break
-				}
-				if arrDelta == nil {
-					arrDelta = make([]float64, K)
-				}
-				arrDelta[k] = a.Arrive[k][id] - bArr
+		for i := 0; i < n; i++ {
+			if bArr != nil && i < len(bArr) {
+				arr[i], slw[i] = bArr[i], bSlw[i]
+			} else {
+				arr[i], slw[i] = math.NaN(), math.NaN()
 			}
 		}
-		if needFull {
-			tm.retimeNet(tr, id, a)
-			continue
-		}
-		// Arrival-offset fast path: the driver's input slew is unchanged, so
-		// every stage delay in this net is identical to the baseline; net
-		// arrivals shift by the driver's arrival delta.
-		changed := false
-		for k := 0; k < K; k++ {
-			if arrDelta[k] != 0 {
-				changed = true
-				break
+		arr[tr.Source] = 0
+		slw[tr.Source] = tm.SourceSlew
+		a.Arrive[k], a.Slew[k] = arr, slw
+
+		baseAt := func(id ctree.NodeID) (arrB, slewB float64, ok bool) {
+			if bArr == nil || int(id) >= len(bArr) {
+				return 0, 0, false
 			}
+			arrB, slewB = bArr[id], bSlw[id]
+			return arrB, slewB, !math.IsNaN(arrB)
 		}
-		if !changed {
-			continue
-		}
-		ok := true
-		pinsAndTaps := netNodes(tr, id)
-		for _, nid := range pinsAndTaps {
-			for k := 0; k < K; k++ {
-				bArr, bSlew, present := baseAt(k, nid)
+
+		for di := range drivers {
+			dr := &drivers[di]
+			id := dr.id
+			needFull := recompute[id]
+			var delta float64
+			if !needFull {
+				bA, bS, ok := baseAt(id)
+				switch {
+				case !ok, math.Abs(slw[id]-bS) > slewConvergedEps:
+					needFull = true
+				default:
+					delta = arr[id] - bA
+				}
+			}
+			if needFull {
+				tm.timeNet(cache, tr, dr, a, k)
+				continue
+			}
+			// Arrival-offset fast path: the driver's input slew is unchanged,
+			// so every stage delay in this net is identical to the baseline;
+			// net arrivals shift by the driver's arrival delta.
+			if delta == 0 {
+				continue
+			}
+			ok := true
+			for _, nid := range netNodes(tr, id) {
+				bA, bS, present := baseAt(nid)
 				if !present {
+					// A net node is new relative to the baseline: fall back.
 					ok = false
 					break
 				}
-				a.Arrive[k][nid] = bArr + arrDelta[k]
-				a.Slew[k][nid] = bSlew
+				arr[nid] = bA + delta
+				slw[nid] = bS
 			}
 			if !ok {
-				break
+				tm.timeNet(cache, tr, dr, a, k)
 			}
 		}
-		if !ok {
-			// A net node is new relative to the baseline: fall back.
-			tm.retimeNet(tr, id, a)
-		}
-	}
-	for k := 0; k < K; k++ {
-		for _, s := range tr.Sinks() {
-			if v := a.Arrive[k][s]; !math.IsNaN(v) && v > a.MaxLat[k] {
+		for _, s := range sinks {
+			if v := arr[s]; !math.IsNaN(v) && v > a.MaxLat[k] {
 				a.MaxLat[k] = v
 			}
 		}
-	}
+	})
 	return a
-}
-
-// retimeNet recomputes one driving node's net exactly as Analyze does,
-// writing the results into a.
-func (tm *Timer) retimeNet(tr *ctree.Tree, id ctree.NodeID, a *Analysis) {
-	node := tr.Node(id)
-	cell := tm.Tech.CellByName(node.CellName)
-	if cell == nil {
-		panic("sta: unknown cell " + node.CellName)
-	}
-	for k := 0; k < a.K; k++ {
-		rc, idx := tm.netRC(tr, id, k)
-		load := rc.TotalCap()
-		slewIn := a.Slew[k][id]
-		dly, outSlew := PairDelay(tm.Tech, cell, k, slewIn, load)
-		m1, m2 := rc.Moments()
-		for nid, ri := range idx {
-			if nid == id {
-				continue
-			}
-			var wire float64
-			switch tm.Wire {
-			case WireElmore:
-				wire = m1[ri]
-			default:
-				wire = rctree.D2M(m1[ri], m2[ri])
-			}
-			a.Arrive[k][nid] = a.Arrive[k][id] + dly + wire
-			a.Slew[k][nid] = rctree.PERISlew(outSlew, rctree.StepSlew(m1[ri], m2[ri]))
-		}
-	}
 }
 
 // netNodes walks the net of driving node id (through transparent taps),

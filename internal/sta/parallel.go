@@ -1,0 +1,55 @@
+package sta
+
+import "sync"
+
+// forEachCorner runs fn(k) once for every corner in [0, K). Corners are
+// fully independent in propagation — each writes only its own Analysis rows
+// — so the fan-out is bit-identical to the serial loop by construction.
+//
+// With tm.Workers <= 1 (or a single corner) the corners run inline in
+// ascending order: the exact serial code path, no goroutines. Otherwise
+// min(Workers, K) workers drain a corner queue. A panic inside a worker is
+// captured and re-raised on the calling goroutine (lowest corner first) so
+// callers' panic-recovery wrappers — resilience.Safely at the flow
+// boundaries — observe it exactly as they would the serial panic.
+func (tm *Timer) forEachCorner(K int, fn func(k int)) {
+	w := tm.Workers
+	if w > K {
+		w = K
+	}
+	if w <= 1 || K <= 1 {
+		for k := 0; k < K; k++ {
+			fn(k)
+		}
+		return
+	}
+	panics := make([]interface{}, K)
+	idx := make(chan int, K)
+	for k := 0; k < K; k++ {
+		idx <- k
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				func(k int) {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[k] = r
+						}
+					}()
+					fn(k)
+				}(k)
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < K; k++ {
+		if panics[k] != nil {
+			panic(panics[k])
+		}
+	}
+}

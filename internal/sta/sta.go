@@ -13,9 +13,9 @@ package sta
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"skewvar/internal/ctree"
-	"skewvar/internal/geom"
 	"skewvar/internal/rctree"
 	"skewvar/internal/route"
 	"skewvar/internal/tech"
@@ -38,11 +38,27 @@ const DefaultSourceSlew = 30.0
 
 // Timer is a reusable analysis context. The zero value is not usable; build
 // with New.
+//
+// A timer memoizes per-(net, corner) electrical views across analyses (see
+// cache.go); the cache is hash-validated per lookup, so trees may be edited
+// freely between calls. All methods are safe for concurrent use as long as
+// Tech/Cong/Wire/SourceSlew/Workers are not reassigned mid-analysis.
 type Timer struct {
 	Tech       *tech.Tech
 	Cong       *route.Congestion // nil → ideal (uncongested) routes
 	Wire       WireModel
 	SourceSlew float64
+
+	// Workers bounds the per-corner fan-out of Analyze and
+	// AnalyzeIncremental: corners are timed on min(Workers, corners)
+	// goroutines. 0 or 1 selects the exact serial path. Results are
+	// bit-identical at any setting — corners never share state.
+	Workers int
+
+	cacheMu   sync.Mutex
+	cache     *netCache
+	cacheTech *tech.Tech        // Tech identity the cache was built against
+	cacheCong *route.Congestion // ditto for the congestion field
 }
 
 // New returns a timer over the given technology with golden defaults.
@@ -87,71 +103,19 @@ func PairDelayTable(t *tech.Tech, cell *tech.Cell, k int, slewIn, loadFF float64
 	return d1 + d2, s2
 }
 
-// netRC builds the per-corner RC tree of the net driven by node d, walking
-// the clock tree through transparent tap nodes. It returns the RC tree and
-// the rc-node index of every ctree node on the net (including taps).
-func (tm *Timer) netRC(tr *ctree.Tree, d ctree.NodeID, k int) (*rctree.RC, map[ctree.NodeID]int) {
-	rPer, cPer := tm.Tech.WireR(k), tm.Tech.WireC(k)
-	b := rctree.NewBuilder(0)
-	idx := map[ctree.NodeID]int{d: 0}
-	dn := tr.Node(d)
-	type item struct{ id, parent ctree.NodeID }
-	stack := make([]item, 0, len(dn.Children))
-	for _, c := range dn.Children {
-		stack = append(stack, item{c, d})
-	}
-	for len(stack) > 0 {
-		it := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := tr.Node(it.id)
-		if n == nil {
-			continue
-		}
-		p := tr.Node(it.parent)
-		length := p.Loc.Manhattan(n.Loc)
-		if tm.Cong != nil && length > 0 {
-			length *= tm.Cong.Factor(geom.Midpoint(p.Loc, n.Loc))
-		}
-		length += n.Detour
-		ni := b.AddWire(idx[it.parent], length, rPer, cPer)
-		idx[it.id] = ni
-		switch n.Kind {
-		case ctree.KindBuffer:
-			cell := tm.Tech.CellByName(n.CellName)
-			if cell == nil {
-				panic(fmt.Sprintf("sta: unknown cell %q at node %d", n.CellName, n.ID))
-			}
-			b.AddLoad(ni, cell.InCap)
-		case ctree.KindSink:
-			b.AddLoad(ni, tm.Tech.SinkCap)
-		case ctree.KindTap:
-			for _, c := range n.Children {
-				stack = append(stack, item{c, it.id})
-			}
-		}
-	}
-	return b.Done(), idx
+// drivingNode is one source/buffer node with its cell pre-resolved, so the
+// per-corner workers never touch the cell map and an unknown cell panics on
+// the calling goroutine, exactly where the serial path panicked.
+type drivingNode struct {
+	id   ctree.NodeID
+	cell *tech.Cell
 }
 
-// Analyze runs a full multi-corner timing pass over the tree.
-func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
-	k := tm.Tech.NumCorners()
-	n := len(tr.Nodes)
-	a := &Analysis{K: k, MaxLat: make([]float64, k)}
-	a.Arrive = make([][]float64, k)
-	a.Slew = make([][]float64, k)
-	for c := 0; c < k; c++ {
-		a.Arrive[c] = make([]float64, n)
-		a.Slew[c] = make([]float64, n)
-		for i := range a.Arrive[c] {
-			a.Arrive[c][i] = math.NaN()
-			a.Slew[c][i] = math.NaN()
-		}
-		a.Arrive[c][tr.Source] = 0
-		a.Slew[c][tr.Source] = tm.SourceSlew
-	}
-	// Process driving nodes in topological order; Topo yields parents first,
-	// so a buffer's input arrival/slew are ready when it is reached.
+// drivingNodes lists the tree's driving nodes in topological order; Topo
+// yields parents first, so a buffer's input arrival/slew are ready when it
+// is reached.
+func (tm *Timer) drivingNodes(tr *ctree.Tree) []drivingNode {
+	out := make([]drivingNode, 0, 64)
 	for _, id := range tr.Topo() {
 		node := tr.Node(id)
 		if node.Kind != ctree.KindSource && node.Kind != ctree.KindBuffer {
@@ -161,36 +125,63 @@ func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
 		if cell == nil {
 			panic(fmt.Sprintf("sta: unknown cell %q at node %d", node.CellName, id))
 		}
-		for c := 0; c < k; c++ {
-			rc, idx := tm.netRC(tr, id, c)
-			load := rc.TotalCap()
-			slewIn := a.Slew[c][id]
-			dly, outSlew := PairDelay(tm.Tech, cell, c, slewIn, load)
-			m1, m2 := rc.Moments()
-			for nid, ri := range idx {
-				if nid == id {
-					continue
-				}
-				var wire float64
-				switch tm.Wire {
-				case WireElmore:
-					wire = m1[ri]
-				default:
-					wire = rctree.D2M(m1[ri], m2[ri])
-				}
-				at := a.Arrive[c][id] + dly + wire
-				a.Arrive[c][nid] = at
-				a.Slew[c][nid] = rctree.PERISlew(outSlew, rctree.StepSlew(m1[ri], m2[ri]))
-			}
-		}
+		out = append(out, drivingNode{id: id, cell: cell})
 	}
-	for c := 0; c < k; c++ {
-		for _, s := range tr.Sinks() {
-			if v := a.Arrive[c][s]; !math.IsNaN(v) && v > a.MaxLat[c] {
+	return out
+}
+
+// timeNet times one driving node's net at one corner through the cached
+// electrical view, writing arrivals and slews for every net node into a.
+func (tm *Timer) timeNet(c *netCache, tr *ctree.Tree, dr *drivingNode, a *Analysis, k int) {
+	ev := tm.evalNet(c, tr, dr.id, k)
+	slewIn := a.Slew[k][dr.id]
+	dly, outSlew := PairDelay(tm.Tech, dr.cell, k, slewIn, ev.totalCap)
+	arrIn := a.Arrive[k][dr.id]
+	for i, nid := range ev.ids {
+		m1, m2 := ev.m1[i], ev.m2[i]
+		var wire float64
+		switch tm.Wire {
+		case WireElmore:
+			wire = m1
+		default:
+			wire = rctree.D2M(m1, m2)
+		}
+		a.Arrive[k][nid] = arrIn + dly + wire
+		a.Slew[k][nid] = rctree.PERISlew(outSlew, rctree.StepSlew(m1, m2))
+	}
+}
+
+// Analyze runs a full multi-corner timing pass over the tree. Corners are
+// propagated independently — across Workers goroutines when configured —
+// and each net's RC reduction comes from the hash-validated cache.
+func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
+	K := tm.Tech.NumCorners()
+	n := len(tr.Nodes)
+	a := &Analysis{K: K, MaxLat: make([]float64, K)}
+	a.Arrive = make([][]float64, K)
+	a.Slew = make([][]float64, K)
+	drivers := tm.drivingNodes(tr)
+	sinks := tr.Sinks()
+	cache := tm.netcache()
+	tm.forEachCorner(K, func(c int) {
+		arr := make([]float64, n)
+		slw := make([]float64, n)
+		for i := range arr {
+			arr[i] = math.NaN()
+			slw[i] = math.NaN()
+		}
+		arr[tr.Source] = 0
+		slw[tr.Source] = tm.SourceSlew
+		a.Arrive[c], a.Slew[c] = arr, slw
+		for i := range drivers {
+			tm.timeNet(cache, tr, &drivers[i], a, c)
+		}
+		for _, s := range sinks {
+			if v := arr[s]; !math.IsNaN(v) && v > a.MaxLat[c] {
 				a.MaxLat[c] = v
 			}
 		}
-	}
+	})
 	return a
 }
 
@@ -303,13 +294,9 @@ func ArcDelays(a *Analysis, seg *ctree.Segmentation) [][]float64 {
 func (tm *Timer) Violations(tr *ctree.Tree) (capViol, slewViol int) {
 	a := tm.Analyze(tr)
 	k := tm.Tech.Nominal
-	for _, id := range tr.Topo() {
-		n := tr.Node(id)
-		if n.Kind != ctree.KindSource && n.Kind != ctree.KindBuffer {
-			continue
-		}
-		rc, _ := tm.netRC(tr, id, k)
-		if rc.TotalCap() > tm.Tech.MaxLoad {
+	cache := tm.netcache()
+	for _, dr := range tm.drivingNodes(tr) {
+		if tm.evalNet(cache, tr, dr.id, k).totalCap > tm.Tech.MaxLoad {
 			capViol++
 		}
 	}
@@ -325,8 +312,7 @@ func (tm *Timer) Violations(tr *ctree.Tree) (capViol, slewViol int) {
 // by node d at corner k. Exposed for the CTS buffer-insertion rules and the
 // ECO engine.
 func (tm *Timer) NetLoad(tr *ctree.Tree, d ctree.NodeID, k int) float64 {
-	rc, _ := tm.netRC(tr, d, k)
-	return rc.TotalCap()
+	return tm.evalNet(tm.netcache(), tr, d, k).totalCap
 }
 
 // SkewGuard returns the acceptance ceiling for a local-skew value under the
