@@ -1,16 +1,29 @@
 # Developer entry points. `make tier1` is the gate a change must pass:
-# vet + build + the full test suite, then the suite again under the race
-# detector in -short mode (which still runs a real optimization flow via
-# the core stage-subset test, just not the multi-minute matrices).
+# lint (go vet + skewlint) + build + the full test suite, then the suite
+# again under the race detector in -short mode (which still runs a real
+# optimization flow via the core stage-subset test, just not the
+# multi-minute matrices).
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench fuzz
+.PHONY: tier1 vet lint lint-fix-report build test race bench fuzz help
 
-tier1: vet build test race
+tier1: lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# skewlint enforces the repo's machine-checked invariants (determinism,
+# cancellation, error taxonomy, pooled concurrency — see docs/ANALYSIS.md).
+# Exit codes: 0 clean, 1 findings, 2 analysis failure (docs/ROBUSTNESS.md).
+lint: vet
+	$(GO) run ./cmd/skewlint ./...
+
+# Machine-readable findings for tooling/triage: writes LINT_report.json and
+# always exits 0 (the report is the artifact; `make lint` is the gate).
+lint-fix-report:
+	$(GO) run ./cmd/skewlint -json ./... > LINT_report.json || true
+	@echo "wrote LINT_report.json"
 
 build:
 	$(GO) build ./...
@@ -18,6 +31,10 @@ build:
 test:
 	$(GO) test ./...
 
+# The race pass runs -short (skips the multi-minute matrices but still
+# drives a real optimization flow), then hammers the parallel-equivalence
+# tests three extra times: the worker pools' bit-identical reduction is the
+# invariant most worth catching a data race in.
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/
@@ -31,3 +48,13 @@ bench:
 # 30-second fuzz pass over the design reader's validation layer.
 fuzz:
 	$(GO) test ./internal/edaio/ -run '^$$' -fuzz FuzzReadDesign -fuzztime 30s
+
+help:
+	@echo "tier1            lint + build + test + race (the merge gate)"
+	@echo "lint             go vet + skewlint invariant analyzers (docs/ANALYSIS.md)"
+	@echo "lint-fix-report  skewlint -json -> LINT_report.json (never fails the build)"
+	@echo "build            go build ./..."
+	@echo "test             go test ./..."
+	@echo "race             -short suite under -race, then 3x the Parallel equivalence tests"
+	@echo "bench            parallel STA benchmarks -> BENCH_pr2.json"
+	@echo "fuzz             30s fuzz of the design reader"

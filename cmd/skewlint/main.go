@@ -1,0 +1,104 @@
+// Command skewlint runs the repository's invariant analyzers (package
+// internal/analysis) over a module and reports findings as
+//
+//	file:line: [analyzer] message
+//
+// Exit codes (documented alongside the flow exit codes in
+// docs/ROBUSTNESS.md):
+//
+//	0 — clean: no findings
+//	1 — findings reported
+//	2 — the analysis itself failed (bad flags, unloadable packages)
+//
+// Usage:
+//
+//	skewlint [-dir root] [-json] [-list] [packages...]
+//
+// Packages default to ./... relative to -dir. -json emits the findings as
+// a machine-readable report (see make lint-fix-report); -list prints the
+// analyzer names and one-line docs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"skewvar/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("skewlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to analyze")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: skewlint [-dir root] [-json] [-list] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: *dir, Patterns: fs.Args()})
+	if err != nil {
+		fmt.Fprintf(stderr, "skewlint: %v\n", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrs {
+			fmt.Fprintf(stderr, "skewlint: %s: type-check: %v\n", p.Path, te)
+		}
+	}
+	findings := analysis.Apply(pkgs, suite)
+	if findings == nil {
+		findings = []analysis.Finding{} // JSON reports carry [] rather than null
+	}
+	// Report paths relative to the module root: stable across checkouts,
+	// which keeps lint-fix-report JSON diffable over time.
+	if abs, err := filepath.Abs(*dir); err == nil {
+		for i := range findings {
+			if rel, err := filepath.Rel(abs, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				findings[i].File = rel
+			}
+		}
+	}
+	if *asJSON {
+		report := struct {
+			Tool     string             `json:"tool"`
+			Count    int                `json:"count"`
+			Findings []analysis.Finding `json:"findings"`
+		}{Tool: "skewlint", Count: len(findings), Findings: findings}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "skewlint: encoding report: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "skewlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the linter to chew on.
+// maporder and poolbound are unscoped, so they fire in any module; the
+// skewvar-scoped analyzers are covered by the corpus tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module lintprobe\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// capture runs skewlint's entry point with stdout/stderr redirected to
+// files, returning the exit code and both streams.
+func capture(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	out, _ := os.ReadFile(outF.Name())
+	errb, _ := os.ReadFile(errF.Name())
+	return code, string(out), string(errb)
+}
+
+const dirtySource = `package probe
+
+func Sum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+
+const cleanSource = `package probe
+
+func Sum(vs []float64) float64 {
+	total := 0.0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+`
+
+func TestExitCleanIsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	dir := writeModule(t, map[string]string{"probe.go": cleanSource})
+	code, out, stderr := capture(t, []string{"-dir", dir, "./..."})
+	if code != 0 {
+		t.Fatalf("exit = %d on a clean module, want 0\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean run produced output: %q", out)
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	dir := writeModule(t, map[string]string{"probe.go": dirtySource})
+	code, out, stderr := capture(t, []string{"-dir", dir, "./..."})
+	if code != 1 {
+		t.Fatalf("exit = %d with findings, want 1\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "[maporder]") {
+		t.Errorf("finding line missing [maporder] tag:\n%s", out)
+	}
+	// Paths are reported relative to the module root for diff-stable output.
+	if strings.Contains(out, dir) {
+		t.Errorf("finding paths should be module-relative:\n%s", out)
+	}
+}
+
+func TestExitLoadFailureIsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	dir := writeModule(t, map[string]string{"probe.go": "package probe\nfunc broken( {\n"})
+	code, _, stderr := capture(t, []string{"-dir", dir, "./..."})
+	if code != 2 {
+		t.Fatalf("exit = %d on an unparsable module, want 2\nstderr:\n%s", code, stderr)
+	}
+	if strings.TrimSpace(stderr) == "" {
+		t.Error("load failure should explain itself on stderr")
+	}
+}
+
+func TestBadFlagIsTwo(t *testing.T) {
+	code, _, _ := capture(t, []string{"-definitely-not-a-flag"})
+	if code != 2 {
+		t.Fatalf("exit = %d on a bad flag, want 2", code)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	dir := writeModule(t, map[string]string{"probe.go": dirtySource})
+	code, out, stderr := capture(t, []string{"-dir", dir, "-json", "./..."})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	var report struct {
+		Tool     string `json:"tool"`
+		Count    int    `json:"count"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out)
+	}
+	if report.Tool != "skewlint" || report.Count != len(report.Findings) || report.Count == 0 {
+		t.Errorf("bad report header: tool=%q count=%d findings=%d", report.Tool, report.Count, len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer != "maporder" || f.File != "probe.go" || f.Line == 0 {
+			t.Errorf("bad finding in report: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanReportHasEmptyArray(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	dir := writeModule(t, map[string]string{"probe.go": cleanSource})
+	code, out, _ := capture(t, []string{"-dir", dir, "-json", "./..."})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, `"findings": []`) {
+		t.Errorf("clean JSON report must carry an empty array, not null:\n%s", out)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"maporder", "detsource", "ctxflow", "errwrap", "poolbound"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestSuppressionRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	suppressed := strings.Replace(dirtySource,
+		"total += v",
+		"total += v //lint:ignore maporder probe: order drift acceptable", 1)
+	dir := writeModule(t, map[string]string{"probe.go": suppressed})
+	code, out, stderr := capture(t, []string{"-dir", dir, "./..."})
+	if code != 0 {
+		t.Fatalf("suppressed module should be clean, exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}

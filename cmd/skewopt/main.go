@@ -91,7 +91,7 @@ func main() {
 
 	d, tm := loadDesign(*designPath, *caseName, *ffs)
 	_, ch := exp.Technology()
-	model := loadModel(*modelPath)
+	model := loadModel(ctx, *modelPath)
 
 	var cp *core.Checkpoint
 	if *resume {
@@ -233,11 +233,11 @@ func loadDesign(path, caseName string, ffs int) (*ctree.Design, *sta.Timer) {
 	return d, tm
 }
 
-func loadModel(path string) *core.MLStageModel {
+func loadModel(ctx context.Context, path string) *core.MLStageModel {
 	if path == "" {
 		fmt.Fprintln(os.Stderr, "skewopt: no -model given; training a quick ridge predictor")
 		t, _ := exp.Technology()
-		m, err := core.TrainStageModel(t, core.TrainConfig{
+		m, err := core.TrainStageModel(ctx, t, core.TrainConfig{
 			Kind: "ridge", Cases: 12, MovesPerCase: 12, Seed: 1,
 		})
 		if err != nil {

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"skewvar/internal/core"
 	"skewvar/internal/exp"
@@ -26,8 +29,13 @@ func main() {
 	evaluate := flag.Bool("eval", true, "print held-out accuracy (Figure 5)")
 	flag.Parse()
 
+	// Interruptible training: ^C cancels between cases/moves/corner fits
+	// (see core.BuildDataset) instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	t, _ := exp.Technology()
-	model, err := core.TrainStageModel(t, core.TrainConfig{
+	model, err := core.TrainStageModel(ctx, t, core.TrainConfig{
 		Kind: *kind, Cases: *cases, MovesPerCase: *moves, Seed: *seed,
 	})
 	if err != nil {

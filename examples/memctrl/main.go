@@ -43,7 +43,7 @@ func main() {
 	fmt.Printf("corners %v (c2 is hold-critical), alphas %.3v\n\n",
 		design.CornerNames, alphas)
 
-	model, err := core.TrainStageModel(base, core.TrainConfig{
+	model, err := core.TrainStageModel(context.Background(), base, core.TrainConfig{
 		Kind: "ridge", Cases: 12, MovesPerCase: 12, Seed: 3,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,8 +23,14 @@ func main() {
 
 	fmt.Printf("building training data: %d artificial testcases × %d moves…\n",
 		trainCases, trainMoves)
-	train := core.BuildDataset(base, trainCases, trainMoves, seed)
-	hold := core.BuildDataset(base, 8, 10, seed+1000)
+	train, err := core.BuildDataset(context.Background(), base, trainCases, trainMoves, seed)
+	if err != nil {
+		log.Fatalf("building training set: %v", err)
+	}
+	hold, err := core.BuildDataset(context.Background(), base, 8, 10, seed+1000)
+	if err != nil {
+		log.Fatalf("building holdout set: %v", err)
+	}
 	fmt.Printf("samples per corner: train %d, held-out %d\n\n", train.Len(), hold.Len())
 
 	tb := &report.Table{
@@ -39,7 +46,7 @@ func main() {
 	}
 	for _, kind := range []string{"ann", "svr", "ridge", "hsm"} {
 		fmt.Printf("training %s…\n", kind)
-		m, err := core.TrainOnDataset(base, train, core.TrainConfig{Kind: kind, Seed: seed})
+		m, err := core.TrainOnDataset(context.Background(), base, train, core.TrainConfig{Kind: kind, Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -42,7 +42,7 @@ func main() {
 
 	// 3. Predictor: delta-latency models trained on artificial testcases
 	//    (kept tiny here; use cmd/trainml for a production model).
-	model, err := core.TrainStageModel(base, core.TrainConfig{
+	model, err := core.TrainStageModel(context.Background(), base, core.TrainConfig{
 		Kind: "ridge", Cases: 10, MovesPerCase: 10, Seed: 7,
 	})
 	if err != nil {

@@ -1,0 +1,382 @@
+// Package analysis is skewlint's engine: a pure-stdlib static-analysis
+// suite that machine-checks invariants this codebase promises elsewhere in
+// prose — bit-identical replay (docs/PARALLELISM.md), cooperative
+// cancellation and the typed error taxonomy (docs/ROBUSTNESS.md), and
+// auditable concurrency (the two sanctioned worker pools).
+//
+// The suite exists because prose invariants rot. PR 2's equivalence
+// harness caught MoveScorer.Gain summing touched pairs in Go map order —
+// an ulp-level nondeterminism that broke the bit-identical worker-count
+// contract — only after the code shipped. Each analyzer here encodes one
+// such invariant so the next violation fails `make lint` instead of
+// surfacing as a flaky replay mismatch months later.
+//
+// Analyzers (see docs/ANALYSIS.md for the full rationale):
+//
+//	maporder  — order-dependent reads of map iteration (the Gain bug class)
+//	detsource — wall clock, global math/rand, multi-way select in the
+//	            deterministic-replay surface
+//	ctxflow   — exported kernel loops must be cancelable
+//	errwrap   — errors crossing package boundaries wrap the resilience
+//	            taxonomy via %w
+//	poolbound — goroutines only inside the sanctioned worker pools
+//
+// Findings can be suppressed, one site at a time, with
+//
+//	//lint:ignore <name>[,<name>...] <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a reasonless directive is itself a finding. <name> may be
+// "*" to match every analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in skewlint's output format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Pkg is one loaded, parsed, type-checked package — the unit an analyzer
+// runs on. Only non-test GoFiles are loaded: the invariants guard shipped
+// code, and test files routinely (and legitimately) use seeded RNG,
+// timeouts, and ad-hoc goroutines.
+type Pkg struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrs collects type-checker complaints. Analysis proceeds on a
+	// partially checked package (unresolved identifiers simply resolve to
+	// nil objects), but skewlint reports load health separately.
+	TypeErrs []error
+}
+
+// An Analyzer checks one invariant over one package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// InScope restricts the analyzer to packages whose import path it
+	// accepts; nil means every package.
+	InScope func(importPath string) bool
+
+	Run func(p *Pkg) []Finding
+}
+
+// inScope reports whether the analyzer applies to the package.
+func (a *Analyzer) inScope(path string) bool {
+	return a.InScope == nil || a.InScope(path)
+}
+
+// pkgSet builds an InScope predicate matching an explicit import-path set.
+func pkgSet(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(path string) bool { return set[path] }
+}
+
+// Suite returns the five analyzers with their production scopes bound to
+// this repository's import paths.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Maporder(),
+		Detsource(),
+		Ctxflow(),
+		Errwrap(),
+		Poolbound(DefaultPools),
+	}
+}
+
+// directiveName is the pseudo-analyzer that owns malformed-suppression
+// findings; it cannot be suppressed.
+const directiveName = "directive"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file   string
+	line   int
+	names  []string // analyzer names, or ["*"]
+	reason string
+	used   bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseDirectives extracts //lint:ignore directives from a package's
+// comments. Malformed directives (no analyzer name, no reason, unknown
+// analyzer) are returned as findings — a suppression that silently matches
+// nothing is worse than a loud one.
+func parseDirectives(p *Pkg, known map[string]bool) ([]*directive, []Finding) {
+	var dirs []*directive
+	var bad []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				malformed := func(msg string) {
+					bad = append(bad, Finding{
+						Analyzer: directiveName,
+						File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: msg,
+					})
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignored — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					malformed("lint:ignore needs an analyzer name and a reason")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				ok := true
+				for _, n := range names {
+					if n != "*" && !known[n] {
+						malformed(fmt.Sprintf("lint:ignore names unknown analyzer %q", n))
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				if reason == "" {
+					malformed(fmt.Sprintf("lint:ignore %s needs a reason", fields[0]))
+					continue
+				}
+				dirs = append(dirs, &directive{
+					file: pos.Filename, line: pos.Line,
+					names: names, reason: reason,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// matches reports whether the directive suppresses the finding: same file,
+// matching analyzer name, and the finding sits on the directive's own line
+// (trailing comment) or the line directly below it (preceding comment).
+func (d *directive) matches(f Finding) bool {
+	if d.file != f.File || (f.Line != d.line && f.Line != d.line+1) {
+		return false
+	}
+	for _, n := range d.names {
+		if n == "*" || n == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply runs every analyzer over every in-scope package, filters findings
+// through //lint:ignore directives, and returns the survivors sorted by
+// position. Unused directives are reported as findings too: a suppression
+// that no longer suppresses anything is stale documentation.
+func Apply(pkgs []*Pkg, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		dirs, bad := parseDirectives(p, known)
+		out = append(out, bad...)
+		var raw []Finding
+		for _, a := range analyzers {
+			if !a.inScope(p.Path) {
+				continue
+			}
+			raw = append(raw, a.Run(p)...)
+		}
+		for _, f := range raw {
+			suppressed := false
+			for _, d := range dirs {
+				if d.matches(f) {
+					d.used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				out = append(out, f)
+			}
+		}
+		for _, d := range dirs {
+			if !d.used {
+				out = append(out, Finding{
+					Analyzer: directiveName,
+					File:     d.file, Line: d.line, Col: 1,
+					Message: fmt.Sprintf("lint:ignore %s suppresses nothing (stale directive)", strings.Join(d.names, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// ---- shared AST helpers ----
+
+// finding builds a Finding at a node's position.
+func (p *Pkg) finding(name string, n ast.Node, format string, args ...interface{}) Finding {
+	pos := p.Fset.Position(n.Pos())
+	return Finding{
+		Analyzer: name,
+		File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// objectOf resolves the object an expression's leaf identifier refers to:
+// the identifier itself, or the selected name of a selector expression.
+// Returns nil for anything else (index expressions, calls, literals).
+func (p *Pkg) objectOf(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := p.Info.Uses[e]; o != nil {
+			return o
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return p.objectOf(e.X)
+	}
+	return nil
+}
+
+// calleeObject resolves a call expression's callee to a function object
+// (nil for builtins, func-typed locals it cannot resolve, and conversions).
+func (p *Pkg) calleeObject(call *ast.CallExpr) *types.Func {
+	if o := p.objectOf(call.Fun); o != nil {
+		if fn, ok := o.(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeName is the lexical name at the call site: f(...) -> "f",
+// x.m(...) -> "m", "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// isFloat reports whether a type's underlying basic kind carries float
+// information (the non-associative accumulation domain).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasContextParam reports whether a signature takes a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedBoundary reports whether a FuncDecl is callable across the
+// package boundary: exported name, and for methods an exported receiver
+// base type.
+func exportedBoundary(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// mentionsType reports whether any identifier inside n has the given
+// type-predicate true (used to detect "the loop body touches the ctx").
+func (p *Pkg) mentionsType(n ast.Node, pred func(types.Type) bool) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := p.Info.Uses[id]; o != nil && o.Type() != nil && pred(o.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

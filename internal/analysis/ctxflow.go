@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflowScope is the long-running-entry-point surface: the packages whose
+// exported functions drive iteration/corner/move loops that can run for
+// minutes at production scale, and therefore must honor the cooperative
+// cancellation contract from docs/ROBUSTNESS.md.
+var ctxflowScope = []string{
+	"skewvar/internal/core",
+	"skewvar/internal/sta",
+	"skewvar/internal/lp",
+}
+
+// kernelPrefixes name the expensive kernels by call-site spelling. A loop
+// calling one of these (or any context-taking function) is a "work loop":
+// one iteration is costly enough that the loop as a whole must be
+// interruptible.
+var kernelPrefixes = []string{"Analyze", "Solve", "Train"}
+
+// Ctxflow enforces the cancellation contract on exported entry points: any
+// exported function in scope whose loops invoke an expensive kernel must
+// take a context.Context and consult it inside the loop (ctx.Err(),
+// resilience.Canceled(ctx), <-ctx.Done(), or passing ctx into the loop's
+// callees all count — each one gives the runtime a cancellation point per
+// iteration).
+func Ctxflow() *Analyzer {
+	a := &Analyzer{
+		Name:    "ctxflow",
+		Doc:     "exported kernel loops must take context.Context and check it at the loop boundary",
+		InScope: pkgSet(ctxflowScope...),
+	}
+	a.Run = func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !exportedBoundary(fd) {
+					continue
+				}
+				hasCtx := false
+				if fd.Type.Params != nil {
+					for _, field := range fd.Type.Params.List {
+						if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+							hasCtx = true
+						}
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch loop := n.(type) {
+					case *ast.ForStmt:
+						body = loop.Body
+					case *ast.RangeStmt:
+						body = loop.Body
+					default:
+						return true
+					}
+					if !p.callsKernel(body) {
+						return true
+					}
+					// Any touch of a context value inside the loop counts:
+					// a direct ctx.Err()/Done() check or forwarding ctx into
+					// a callee that checks it.
+					if p.mentionsType(body, isContextType) {
+						return true
+					}
+					if !hasCtx {
+						out = append(out, p.finding(a.Name, n,
+							"%s runs a kernel loop but takes no context.Context (long-running exported entry points must be cancelable)", fd.Name.Name))
+					} else {
+						out = append(out, p.finding(a.Name, n,
+							"kernel loop in %s never consults its context (check ctx.Err() or pass ctx to the loop's callees)", fd.Name.Name))
+					}
+					return true
+				})
+			}
+		}
+		return out
+	}
+	return a
+}
+
+// callsKernel reports whether the block (descending into nested function
+// literals — they run per-iteration when defined in the loop) calls a
+// context-taking function or a kernel-named one.
+func (p *Pkg) callsKernel(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := p.calleeObject(call); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && hasContextParam(sig) {
+				found = true
+				return false
+			}
+		}
+		name := calleeName(call)
+		for _, pre := range kernelPrefixes {
+			if strings.HasPrefix(name, pre) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

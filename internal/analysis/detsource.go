@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detsourceScope is the deterministic-replay surface: packages whose
+// results must be byte-identical given (design, seed, config) — the
+// property the checkpoint/resume and parallel-equivalence tests assert.
+// internal/eco and internal/fit ride along per the PR-3 audit: they feed
+// move application and model fitting, so a wall-clock read or global-RNG
+// draw there would be just as replay-breaking as one in core.
+var detsourceScope = []string{
+	"skewvar/internal/core",
+	"skewvar/internal/sta",
+	"skewvar/internal/ctree",
+	"skewvar/internal/lp",
+	"skewvar/internal/eco",
+	"skewvar/internal/fit",
+}
+
+// randAllowed lists math/rand(/v2) functions that do NOT touch the global
+// generator: constructors for explicitly seeded sources. Everything else
+// (Intn, Float64, Perm, Shuffle, Seed, ...) draws from process-global state
+// that replay cannot control.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// Detsource forbids nondeterminism sources in the deterministic-replay
+// surface: time.Now (wall clock), the global math/rand generator, and
+// multi-way select (the runtime picks a ready case pseudo-randomly).
+// Seeded rand.New(rand.NewSource(seed)) remains allowed — that is the
+// plumbing replay is built on.
+func Detsource() *Analyzer {
+	a := &Analyzer{
+		Name:    "detsource",
+		Doc:     "wall clock, global math/rand, or multi-way select in the deterministic-replay surface",
+		InScope: pkgSet(detsourceScope...),
+	}
+	a.Run = func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if fn, ok := p.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil {
+						// Methods (e.g. (*rand.Rand).Shuffle on a seeded
+						// generator) are fine; only package-level functions
+						// reach the global state.
+						if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+							return true
+						}
+						switch fn.Pkg().Path() {
+						case "time":
+							if fn.Name() == "Now" {
+								out = append(out, p.finding(a.Name, n,
+									"time.Now in the deterministic-replay surface (results must depend only on design, seed, and config)"))
+							}
+						case "math/rand", "math/rand/v2":
+							if !randAllowed[fn.Name()] {
+								out = append(out, p.finding(a.Name, n,
+									"global math/rand state via rand.%s (use a seeded *rand.Rand threaded from the flow config)", fn.Name()))
+							}
+						}
+					}
+				case *ast.SelectStmt:
+					comm := 0
+					for _, c := range n.Body.List {
+						if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+							comm++
+						}
+					}
+					if comm >= 2 {
+						out = append(out, p.finding(a.Name, n,
+							"multi-way select (%d cases): the runtime picks a ready case pseudo-randomly, which replay cannot reproduce", comm))
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// errwrapScope is the error-taxonomy surface: the packages whose exported
+// functions return errors that flow callers classify with errors.Is
+// against the resilience sentinels (degradation decisions, exit codes,
+// fault accounting). Leaf libraries (eco, tech, route, ...) stay out of
+// scope — their errors are wrapped into the taxonomy by these callers.
+var errwrapScope = []string{
+	"skewvar/internal/core",
+	"skewvar/internal/sta",
+	"skewvar/internal/lp",
+	"skewvar/internal/ctree",
+	"skewvar/internal/edaio",
+}
+
+// Errwrap flags errors minted at the return sites of exported functions
+// without joining the error taxonomy: a bare errors.New(...) or a
+// fmt.Errorf whose format carries no %w escapes the errors.Is
+// classification every flow boundary performs. The fix is to wrap a
+// resilience sentinel (or an upstream error that already wraps one) with
+// %w.
+//
+// The check is a return-site check by design: an error built elsewhere and
+// returned through a variable is invisible to it, as is an error returned
+// by an unexported helper. Those still reach callers through exported
+// return statements like `return nil, err`, whose wrapping the originating
+// site already decided.
+func Errwrap() *Analyzer {
+	a := &Analyzer{
+		Name:    "errwrap",
+		Doc:     "errors crossing package boundaries must wrap a resilience sentinel via %w",
+		InScope: pkgSet(errwrapScope...),
+	}
+	a.Run = func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !exportedBoundary(fd) {
+					continue
+				}
+				out = append(out, p.errwrapFunc(a.Name, fd)...)
+			}
+		}
+		return out
+	}
+	return a
+}
+
+func (p *Pkg) errwrapFunc(name string, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's returns do not cross this function's boundary.
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := p.calleeObject(call)
+				if fn == nil || fn.Pkg() == nil {
+					continue
+				}
+				switch fn.Pkg().Path() + "." + fn.Name() {
+				case "errors.New":
+					out = append(out, p.finding(name, call,
+						"%s returns a bare errors.New across the package boundary (wrap a resilience sentinel with %%w)", fd.Name.Name))
+				case "fmt.Errorf":
+					if len(call.Args) == 0 {
+						continue
+					}
+					format, known := stringConstant(p, call.Args[0])
+					if known && !strings.Contains(format, "%w") {
+						out = append(out, p.finding(name, call,
+							"%s returns fmt.Errorf without %%w across the package boundary (wrap a resilience sentinel)", fd.Name.Name))
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return out
+}
+
+// stringConstant evaluates an expression to a constant string when the
+// type checker knows one (literals, named constants, concatenations).
+func stringConstant(p *Pkg, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

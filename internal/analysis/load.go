@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The loader is deliberately go/packages-free: it shells out to
+// `go list -json` for package discovery (the one thing only the go command
+// can answer in module mode), then parses and type-checks with nothing but
+// go/parser and go/types. Module-internal imports resolve against the
+// packages being loaded; standard-library imports fall back to the
+// compiler-independent source importer. No third-party dependency, no
+// export-data format coupling.
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the module root the patterns are resolved in (default ".").
+	Dir string
+	// Patterns are go-list package patterns (default ["./..."]).
+	Patterns []string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers, parses, and type-checks the packages matching the
+// patterns. Parse errors are fatal (the repo must at least be syntactically
+// valid to lint); type errors are collected per package and surfaced on
+// Pkg.TypeErrs so analyzers still run over partially checked code.
+func Load(cfg LoadConfig) ([]*Pkg, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		metas:   map[string]*listPkg{},
+		checked: map[string]*Pkg{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	for _, m := range metas {
+		ld.metas[m.ImportPath] = m
+	}
+	// Deterministic load order: go list already emits dependency order, but
+	// sort defensively so output never depends on the go version's ordering.
+	paths := make([]string, 0, len(metas))
+	for _, m := range metas {
+		paths = append(paths, m.ImportPath)
+	}
+	sort.Strings(paths)
+
+	var out []*Pkg
+	for _, path := range paths {
+		p, err := ld.check(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// goList runs `go list -json` and decodes its package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var metas []*listPkg
+	for {
+		m := &listPkg{}
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("analysis: go list %s: %s", m.ImportPath, m.Error.Err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// loader type-checks module packages on demand, in import order, caching
+// results so shared dependencies are checked once.
+type loader struct {
+	fset    *token.FileSet
+	metas   map[string]*listPkg
+	checked map[string]*Pkg
+	std     types.Importer
+}
+
+// Import implements types.Importer: module-internal paths resolve through
+// the loader's own cache; everything else (stdlib) through the source
+// importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, ok := ld.metas[path]; ok {
+		p, err := ld.check(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) check(path string, stack []string) (*Pkg, error) {
+	if p, ok := ld.checked[path]; ok {
+		return p, nil
+	}
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+	}
+	m := ld.metas[path]
+	if m == nil {
+		return nil, fmt.Errorf("analysis: %s not in the loaded package set", path)
+	}
+	// Check module-internal imports first so Import() never recurses through
+	// the type checker mid-check.
+	for _, imp := range m.Imports {
+		if _, ok := ld.metas[imp]; ok {
+			if _, err := ld.check(imp, append(stack, path)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	p := &Pkg{
+		Path: path,
+		Fset: ld.fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	tp, err := conf.Check(path, ld.fset, files, p.Info)
+	if tp == nil && err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	p.Types = tp
+	p.Files = files
+	ld.checked[path] = p
+	return p, nil
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags range statements over maps whose bodies leak iteration
+// order into program results — the MoveScorer.Gain bug class. Go randomizes
+// map iteration order per run, so two order-dependent sinks are checked:
+//
+//   - accumulating into a float declared outside the loop (x += v,
+//     x = x + v, ...): float addition is not associative, so the sum
+//     drifts by ulps with the visit order, breaking bit-identical replay;
+//   - appending to a slice declared outside the loop that is never passed
+//     to a sort afterwards in the same function: the slice's element order
+//     is whatever the runtime felt like this run.
+//
+// The sort whitelist is syntactic: any later call in the same function that
+// mentions the slice and resolves into package sort or slices (or whose
+// name contains "ort", e.g. a local sortPairs helper) clears the append.
+func Maporder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "order-dependent use of map iteration (float accumulation, unsorted append)",
+	}
+	a.Run = func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			// Walk function by function so "later in the same function" has
+			// a well-defined meaning for the sort whitelist.
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					// Only reached for literals outside any FuncDecl (var
+					// initializers): maporderFunc descends into literals
+					// nested in a declaration itself.
+					body = fn.Body
+				}
+				if body == nil {
+					return true
+				}
+				out = append(out, maporderFunc(p, a.Name, body)...)
+				return false // maporderFunc handled nested funcs
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// maporderFunc checks every map-range inside one function body, descending
+// into nested function literals (their bodies still execute with the
+// enclosing iteration order when called from the loop).
+func maporderFunc(p *Pkg, name string, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		out = append(out, maporderRange(p, name, body, rs)...)
+		return true
+	})
+	return out
+}
+
+func maporderRange(p *Pkg, name string, fnBody *ast.BlockStmt, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	declaredOutside := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		pos := obj.Pos()
+		// Struct fields and package-level vars have positions outside the
+		// loop by construction; loop-local temporaries fall inside.
+		return pos == token.NoPos || pos < rs.Pos() || pos > rs.End()
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			obj := p.objectOf(lhs)
+			if obj == nil || !declaredOutside(obj) {
+				continue
+			}
+			if i < len(as.Rhs) {
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && isBuiltinAppend(p, call) {
+					if len(call.Args) > 0 && p.objectOf(call.Args[0]) == obj &&
+						!sortedLater(p, fnBody, rs, obj) {
+						out = append(out, p.finding(name, as,
+							"append to %q under map iteration order with no later sort in this function", obj.Name()))
+						continue
+					}
+				}
+			}
+			if !isFloat(obj.Type()) {
+				continue
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				out = append(out, p.finding(name, as,
+					"float %q accumulated in map iteration order (non-associative; breaks bit-identical replay)", obj.Name()))
+			case token.ASSIGN:
+				if i < len(as.Rhs) && selfReferential(p, as.Rhs[i], obj) {
+					out = append(out, p.finding(name, as,
+						"float %q accumulated in map iteration order (non-associative; breaks bit-identical replay)", obj.Name()))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(p *Pkg, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// selfReferential reports whether expr reads obj through a +,-,*,/ binary
+// chain — the x = x + v accumulation spelling.
+func selfReferential(p *Pkg, expr ast.Expr, obj types.Object) bool {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if p.objectOf(side) == obj {
+			return true
+		}
+		if selfReferential(p, side, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLater reports whether, after the range statement, the enclosing
+// function calls something sort-like with the object as (part of) an
+// argument.
+func sortedLater(p *Pkg, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(c ast.Node) bool {
+				if id, ok := c.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(p *Pkg, call *ast.CallExpr) bool {
+	if fn := p.calleeObject(call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	return strings.Contains(calleeName(call), "ort") // sortX, Sort, resort…
+}

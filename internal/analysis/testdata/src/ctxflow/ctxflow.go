@@ -1,0 +1,78 @@
+// Package ctxflow is golden-corpus input for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+type result struct{ cost float64 }
+
+// AnalyzeOne plays the expensive kernel: its name carries the Analyze
+// prefix the analyzer keys on.
+func AnalyzeOne(i int) result { return result{cost: float64(i)} }
+
+func cheap(i int) int { return i + 1 }
+
+// SolveAll runs a kernel loop with no context parameter at all.
+func SolveAll(n int) []result {
+	var out []result
+	for i := 0; i < n; i++ { // want "SolveAll runs a kernel loop but takes no context.Context"
+		out = append(out, AnalyzeOne(i))
+	}
+	return out
+}
+
+// SolveIgnoring takes a context but never consults it inside the loop.
+func SolveIgnoring(ctx context.Context, n int) []result {
+	var out []result
+	for i := 0; i < n; i++ { // want "kernel loop in SolveIgnoring never consults its context"
+		out = append(out, AnalyzeOne(i))
+	}
+	return out
+}
+
+// SolveChecked consults ctx.Err() at the loop boundary: compliant.
+func SolveChecked(ctx context.Context, n int) ([]result, error) {
+	var out []result
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, AnalyzeOne(i))
+	}
+	return out, nil
+}
+
+// SolveForwarding passes ctx into the loop's callee, which owns the check:
+// also compliant (the cancellation point is one call deep).
+func SolveForwarding(ctx context.Context, n int) []result {
+	var out []result
+	for i := 0; i < n; i++ {
+		out = append(out, analyzeCtx(ctx, i))
+	}
+	return out
+}
+
+func analyzeCtx(ctx context.Context, i int) result {
+	if ctx.Err() != nil {
+		return result{}
+	}
+	return AnalyzeOne(i)
+}
+
+// CheapLoopIsFine: loops over cheap work need no cancellation point.
+func CheapLoopIsFine(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += cheap(i)
+	}
+	return total
+}
+
+// unexportedLoop is not a package boundary; the contract binds exported
+// entry points only.
+func unexportedLoop(n int) []result {
+	var out []result
+	for i := 0; i < n; i++ {
+		out = append(out, AnalyzeOne(i))
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package detsource is golden-corpus input for the detsource analyzer.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock reads the wall clock: results would depend on when you ran it.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in the deterministic-replay surface"
+}
+
+// SinceIsFine: time.Since is built on monotonic reads, but it calls
+// time.Now internally; the analyzer only flags the literal call, and
+// measuring durations for *reporting* goes through Recorder elsewhere.
+// Using the time package for constants is fine.
+func SinceIsFine() time.Duration {
+	return 3 * time.Second
+}
+
+// GlobalRand draws from the process-global generator.
+func GlobalRand() int {
+	return rand.Intn(10) // want "global math/rand state via rand.Intn"
+}
+
+// GlobalShuffle is the same hole through another entry point.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand state via rand.Shuffle"
+}
+
+// SeededIsFine: rand.New(rand.NewSource(seed)) is the sanctioned plumbing;
+// methods on the seeded generator do not touch global state.
+func SeededIsFine(seed int64, xs []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	_ = rng.Float64()
+}
+
+// MultiSelect lets the runtime pick a ready case pseudo-randomly.
+func MultiSelect(a, b chan int) int {
+	select { // want "multi-way select"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SingleSelectIsFine: one comm case plus default is deterministic given
+// channel state.
+func SingleSelectIsFine(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

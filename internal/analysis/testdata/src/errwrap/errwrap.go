@@ -1,0 +1,89 @@
+// Package errwrap is golden-corpus input for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad stands in for a resilience sentinel. Minting it at package level
+// is fine — the rule binds return sites of exported functions.
+var ErrBad = errors.New("errwrap: bad input")
+
+// BareNew mints an unclassifiable error at an exported return site.
+func BareNew(ok bool) error {
+	if !ok {
+		return errors.New("errwrap: not ok") // want "BareNew returns a bare errors.New across the package boundary"
+	}
+	return nil
+}
+
+// BareErrorf formats without %w: same hole, different spelling.
+func BareErrorf(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errwrap: negative count %d", n) // want "BareErrorf returns fmt.Errorf without %w across the package boundary"
+	}
+	return nil
+}
+
+// Wrapped joins the taxonomy via %w: compliant.
+func Wrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errwrap: negative count %d: %w", n, ErrBad)
+	}
+	return nil
+}
+
+// Passthrough returns an error built elsewhere: out of the rule's reach by
+// design (the originating site decided the wrapping).
+func Passthrough(n int) error {
+	err := helper(n)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// helper is unexported: its returns do not cross the package boundary.
+func helper(n int) error {
+	if n > 100 {
+		return fmt.Errorf("errwrap: too big: %d", n)
+	}
+	return nil
+}
+
+// InsideLiteral builds errors inside a function literal: those returns
+// belong to the literal, not to the exported boundary.
+func InsideLiteral(ns []int) []error {
+	var out []error
+	check := func(n int) error {
+		if n < 0 {
+			return errors.New("errwrap: negative")
+		}
+		return nil
+	}
+	for _, n := range ns {
+		out = append(out, check(n))
+	}
+	return out
+}
+
+type Box struct{ v int }
+
+// Get is an exported method on an exported receiver: in scope.
+func (b *Box) Get() (int, error) {
+	if b.v == 0 {
+		return 0, errors.New("errwrap: empty box") // want "Get returns a bare errors.New across the package boundary"
+	}
+	return b.v, nil
+}
+
+type hidden struct{ v int }
+
+// Get on an unexported receiver is not reachable across the boundary.
+func (h *hidden) Get() (int, error) {
+	if h.v == 0 {
+		return 0, errors.New("errwrap: empty")
+	}
+	return h.v, nil
+}

@@ -1,0 +1,118 @@
+// Package maporder is golden-corpus input for the maporder analyzer.
+// Lines carrying a want-comment expectation must produce a finding whose
+// message contains the quoted substring; every other line must stay clean.
+package maporder
+
+import "sort"
+
+// SumInOrder accumulates a float in map iteration order: the canonical
+// MoveScorer.Gain bug shape.
+func SumInOrder(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float \"total\" accumulated in map iteration order"
+	}
+	return total
+}
+
+// SumSpelledOut uses the x = x + v spelling of the same accumulation.
+func SumSpelledOut(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float \"total\" accumulated in map iteration order"
+	}
+	return total
+}
+
+// SumViaKeys is the fix: collect keys, sort, accumulate in sorted order.
+func SumViaKeys(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CollectUnsorted appends map elements and returns them as-is.
+func CollectUnsorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) // want "append to \"names\" under map iteration order with no later sort"
+	}
+	return names
+}
+
+// CollectViaHelper is cleared by the name-based sort whitelist: the helper
+// is called after the range with the slice as an argument.
+func CollectViaHelper(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// LoopLocalIsFine accumulates into a variable scoped to the loop body —
+// order cannot leak out of one iteration.
+func LoopLocalIsFine(m map[int][]float64) int {
+	n := 0
+	for _, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		if sum > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// IntCountIsFine: integer accumulation is associative, so order does not
+// change the result.
+func IntCountIsFine(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SliceRangeIsFine: ranging over a slice is ordered; only maps randomize.
+func SliceRangeIsFine(vs []float64) float64 {
+	total := 0.0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// ClosureSum shows the analyzer descending into function literals nested in
+// a declaration: the closure still runs under the enclosing map order.
+func ClosureSum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		f := func() {
+			total += v // want "float \"total\" accumulated in map iteration order"
+		}
+		f()
+	}
+	return total
+}
+
+// PackageInit exercises the top-level FuncLit path (a var initializer).
+var PackageInit = func(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v // want "float \"s\" accumulated in map iteration order"
+	}
+	return s
+}

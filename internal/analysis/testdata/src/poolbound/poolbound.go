@@ -1,0 +1,37 @@
+// Package poolbound is golden-corpus input for the poolbound analyzer. The
+// test binds the sanctioned-pool allowlist to runIndexed in this package.
+package poolbound
+
+import "sync"
+
+// runIndexed is the sanctioned pool: go statements inside it are allowed.
+func runIndexed(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ThroughPool routes concurrency through the pool: compliant.
+func ThroughPool(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	runIndexed(len(xs), func(i int) { out[i] = xs[i] * 2 })
+	return out
+}
+
+// AdHocGoroutine launches outside the pool.
+func AdHocGoroutine(done chan struct{}) {
+	go func() { // want "go statement outside the sanctioned worker pools"
+		close(done)
+	}()
+}
+
+// fireAndForget: unexported functions are held to the same rule.
+func fireAndForget(f func()) {
+	go f() // want "go statement outside the sanctioned worker pools"
+}

@@ -1,0 +1,74 @@
+// Package suppress is golden-corpus input for the //lint:ignore directive
+// machinery (tested through Apply, so suppression, staleness, and
+// malformed-directive findings all surface).
+package suppress
+
+// TrailingSuppression: directive on the flagged line itself.
+func TrailingSuppression(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //lint:ignore maporder corpus: order drift is acceptable here
+	}
+	return total
+}
+
+// PrecedingSuppression: directive on the line directly above.
+func PrecedingSuppression(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:ignore maporder corpus: order drift is acceptable here
+		total += v
+	}
+	return total
+}
+
+// WildcardSuppression: "*" matches every analyzer.
+func WildcardSuppression(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //lint:ignore * corpus: wildcard suppression
+	}
+	return total
+}
+
+// Unsuppressed keeps one live finding so the corpus proves directives are
+// site-scoped, not file-scoped.
+func Unsuppressed(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float \"total\" accumulated in map iteration order"
+	}
+	return total
+}
+
+// StaleDirective suppresses nothing: the loop below ranges over a slice,
+// so the directive itself becomes the finding.
+func StaleDirective(vs []float64) float64 {
+	total := 0.0
+	for _, v := range vs {
+		/* want "suppresses nothing" */ //lint:ignore maporder stale: slices iterate in order
+		total += v
+	}
+	return total
+}
+
+// MissingReason: the reason is mandatory, and a malformed directive does
+// not suppress.
+func MissingReason(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		/* want "needs a reason" */ //lint:ignore maporder
+		total += v // want "float \"total\" accumulated in map iteration order"
+	}
+	return total
+}
+
+// UnknownAnalyzer: a typo must not silently suppress.
+func UnknownAnalyzer(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		/* want "names unknown analyzer" */ //lint:ignore mapodrer corpus: typo in the analyzer name
+		total += v // want "float \"total\" accumulated in map iteration order"
+	}
+	return total
+}

@@ -44,7 +44,7 @@ func smallDesign(t *testing.T, nFF int) (*ctree.Design, *sta.Timer) {
 
 func cheapModel(t *testing.T, th *tech.Tech) *MLStageModel {
 	t.Helper()
-	m, err := TrainStageModel(th, TrainConfig{
+	m, err := TrainStageModel(context.Background(), th, TrainConfig{
 		Cases: 8, MovesPerCase: 8, Kind: "ridge", Seed: 7,
 	})
 	if err != nil {
@@ -161,20 +161,26 @@ func TestAffectedStagesPerMoveType(t *testing.T) {
 
 func TestBuildDatasetAndModelBeatsAnalytic(t *testing.T) {
 	th, _ := testTech(t)
-	ds := BuildDataset(th, 10, 10, 31)
+	ds, err := BuildDataset(context.Background(), th, 10, 10, 31)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
 	if ds.Len() < 100 {
 		t.Fatalf("dataset too small: %d", ds.Len())
 	}
 	if len(ds.X) != th.NumCorners() {
 		t.Fatalf("corners = %d", len(ds.X))
 	}
-	model, err := TrainOnDataset(th, ds, TrainConfig{Kind: "ridge", Seed: 1})
+	model, err := TrainOnDataset(context.Background(), th, ds, TrainConfig{Kind: "ridge", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Held-out evaluation: the trained model must beat every raw analytic
 	// estimator (the paper's Figure 5/6 claim).
-	hold := BuildDataset(th, 4, 8, 99)
+	hold, err := BuildDataset(context.Background(), th, 4, 8, 99)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
 	accs := EvaluateStageModel(model, hold)
 	for k, acc := range accs {
 		mlErr := fit.RMSE(acc.Predicted, acc.Actual)
@@ -190,11 +196,14 @@ func TestBuildDatasetAndModelBeatsAnalytic(t *testing.T) {
 
 func TestTrainErrors(t *testing.T) {
 	th, _ := testTech(t)
-	if _, err := TrainOnDataset(th, &Dataset{}, TrainConfig{Kind: "ridge"}); err == nil {
+	if _, err := TrainOnDataset(context.Background(), th, &Dataset{}, TrainConfig{Kind: "ridge"}); err == nil {
 		t.Error("empty dataset accepted")
 	}
-	ds := BuildDataset(th, 2, 3, 1)
-	if _, err := TrainOnDataset(th, ds, TrainConfig{Kind: "nope"}); err == nil {
+	ds, err := BuildDataset(context.Background(), th, 2, 3, 1)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	if _, err := TrainOnDataset(context.Background(), th, ds, TrainConfig{Kind: "nope"}); err == nil {
 		t.Error("unknown kind accepted")
 	}
 }

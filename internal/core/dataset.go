@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"skewvar/internal/eco"
 	"skewvar/internal/legalize"
 	"skewvar/internal/ml"
+	"skewvar/internal/resilience"
 	"skewvar/internal/route"
 	"skewvar/internal/sta"
 	"skewvar/internal/tech"
@@ -67,8 +69,10 @@ func affectedStages(tr *ctree.Tree, m eco.Move) [][2]ctree.NodeID {
 // testcases (paper §4.2: 150 cases × ~450 moves; scale via the arguments).
 // Every sample is one (move-affected stage, corner): features from the
 // post-move topology with pre-move slews, target from the golden timer on
-// the post-move tree with the case's congestion field.
-func BuildDataset(t *tech.Tech, cases, movesPer int, seed int64) *Dataset {
+// the post-move tree with the case's congestion field. The context is
+// consulted between cases and between moves, so a canceled training run
+// stops within one golden re-timing.
+func BuildDataset(ctx context.Context, t *tech.Tech, cases, movesPer int, seed int64) (*Dataset, error) {
 	rng := rand.New(rand.NewSource(seed))
 	k := t.NumCorners()
 	ds := &Dataset{
@@ -77,6 +81,9 @@ func BuildDataset(t *tech.Tech, cases, movesPer int, seed int64) *Dataset {
 		Base: make([][]float64, k),
 	}
 	for c := 0; c < cases; c++ {
+		if err := resilience.Canceled(ctx); err != nil {
+			return nil, fmt.Errorf("core: building dataset (case %d of %d): %w", c, cases, err)
+		}
 		tc := testgen.NewTrainingCase(t, rng)
 		tm := sta.New(t)
 		tm.Cong = route.NewCongestion(tc.Die, 8, 8, 0.18, uint64(seed)+uint64(c)*7919)
@@ -87,7 +94,10 @@ func BuildDataset(t *tech.Tech, cases, movesPer int, seed int64) *Dataset {
 		if len(moves) > movesPer {
 			moves = moves[:movesPer]
 		}
-		for _, mv := range moves {
+		for mi, mv := range moves {
+			if err := resilience.Canceled(ctx); err != nil {
+				return nil, fmt.Errorf("core: building dataset (case %d, move %d): %w", c, mi, err)
+			}
 			post := tc.Tree.Clone()
 			if err := eco.Apply(post, t, lg, mv); err != nil {
 				continue
@@ -113,7 +123,7 @@ func BuildDataset(t *tech.Tech, cases, movesPer int, seed int64) *Dataset {
 			}
 		}
 	}
-	return ds
+	return ds, nil
 }
 
 // TrainConfig tunes predictor training. Zero values select defaults sized
@@ -145,24 +155,32 @@ func (c *TrainConfig) setDefaults() {
 }
 
 // TrainStageModel builds a dataset and fits one model per corner.
-func TrainStageModel(t *tech.Tech, cfg TrainConfig) (*MLStageModel, error) {
+func TrainStageModel(ctx context.Context, t *tech.Tech, cfg TrainConfig) (*MLStageModel, error) {
 	cfg.setDefaults()
-	ds := BuildDataset(t, cfg.Cases, cfg.MovesPerCase, cfg.Seed)
-	return TrainOnDataset(t, ds, cfg)
+	ds, err := BuildDataset(ctx, t, cfg.Cases, cfg.MovesPerCase, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return TrainOnDataset(ctx, t, ds, cfg)
 }
 
 // TrainOnDataset fits the configured model kind on an existing dataset.
-func TrainOnDataset(t *tech.Tech, ds *Dataset, cfg TrainConfig) (*MLStageModel, error) {
+// The context is checked once per corner: each per-corner fit (ANN epochs,
+// SVR SMO passes) is the natural atom of work.
+func TrainOnDataset(ctx context.Context, t *tech.Tech, ds *Dataset, cfg TrainConfig) (*MLStageModel, error) {
 	cfg.setDefaults()
 	k := t.NumCorners()
 	if len(ds.X) < k {
-		return nil, fmt.Errorf("core: dataset covers %d corners, need %d", len(ds.X), k)
+		return nil, fmt.Errorf("core: dataset covers %d corners, need %d: %w", len(ds.X), k, resilience.ErrInvalidDesign)
 	}
 	out := &MLStageModel{Kind: cfg.Kind}
 	for kk := 0; kk < k; kk++ {
+		if err := resilience.Canceled(ctx); err != nil {
+			return nil, fmt.Errorf("core: training corner %d: %w", kk, err)
+		}
 		X, Yd := capSamples(ds.X[kk], ds.Y[kk], cfg.MaxSamples, cfg.Seed)
 		if len(X) < 20 {
-			return nil, fmt.Errorf("core: only %d samples at corner %d", len(X), kk)
+			return nil, fmt.Errorf("core: only %d samples at corner %d: %w", len(X), kk, resilience.ErrInvalidDesign)
 		}
 		// Residual target: golden delta minus the RSMT+D2M analytic delta,
 		// on the scale-bounded feature view (see MLStageModel).

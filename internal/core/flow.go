@@ -108,7 +108,7 @@ type FlowResult struct {
 func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design, model StageModel, cfg FlowConfig) (*FlowResult, error) {
 	pairs := d.TopPairs(cfg.TopPairs)
 	if len(pairs) == 0 {
-		return nil, fmt.Errorf("core: design has no sink pairs")
+		return nil, fmt.Errorf("core: design has no sink pairs: %w", resilience.ErrInvalidDesign)
 	}
 	stages := cfg.Only
 	if len(stages) == 0 {
@@ -120,7 +120,7 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 		case "global", "local", "global-local":
 			want[s] = true
 		default:
-			return nil, fmt.Errorf("core: unknown flow stage %q", s)
+			return nil, fmt.Errorf("core: unknown flow stage %q: %w", s, resilience.ErrInvalidDesign)
 		}
 	}
 	logf := cfg.Logf

@@ -132,7 +132,7 @@ func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design
 	cfg.setDefaults()
 	pairs := d.TopPairs(cfg.TopPairs)
 	if len(pairs) == 0 {
-		return nil, fmt.Errorf("core: no sink pairs")
+		return nil, fmt.Errorf("core: no sink pairs: %w", resilience.ErrInvalidDesign)
 	}
 	if cfg.Workers > 0 {
 		tm.Workers = cfg.Workers

@@ -116,14 +116,14 @@ type LocalResult struct {
 func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []float64, cfg LocalConfig) (*LocalResult, error) {
 	cfg.setDefaults()
 	if cfg.Model == nil {
-		return nil, fmt.Errorf("core: LocalOpt needs a stage model")
+		return nil, fmt.Errorf("core: LocalOpt needs a stage model: %w", resilience.ErrInvalidDesign)
 	}
 	if err := validateModel(cfg.Model, tm.Tech.NumCorners()); err != nil {
 		return nil, err
 	}
 	pairs := d.TopPairs(cfg.TopPairs)
 	if len(pairs) == 0 {
-		return nil, fmt.Errorf("core: no sink pairs")
+		return nil, fmt.Errorf("core: no sink pairs: %w", resilience.ErrInvalidDesign)
 	}
 	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
 	tm.Workers = cfg.Workers

@@ -207,7 +207,10 @@ func TestFaultInParallelWorker(t *testing.T) {
 func TestDatasetIncrementalMatchesFull(t *testing.T) {
 	th, _ := testTech(t)
 	const cases, movesPer, seed = 2, 6, int64(5)
-	got := BuildDataset(th, cases, movesPer, seed)
+	got, err := BuildDataset(context.Background(), th, cases, movesPer, seed)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
 	want := fullAnalysisDataset(th, cases, movesPer, seed)
 	if len(got.X) != len(want.X) {
 		t.Fatalf("corner counts differ: %d vs %d", len(got.X), len(want.X))

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"skewvar/internal/ml"
+	"skewvar/internal/resilience"
 )
 
 // stageModelFile is the on-disk form of a trained MLStageModel.
@@ -38,10 +39,10 @@ func LoadStageModel(r io.Reader) (*MLStageModel, error) {
 		return nil, err
 	}
 	if kind != f.Kind {
-		return nil, fmt.Errorf("core: bundle kind %q does not match header %q", kind, f.Kind)
+		return nil, fmt.Errorf("core: bundle kind %q does not match header %q: %w", kind, f.Kind, resilience.ErrInvalidDesign)
 	}
 	if len(models) == 0 {
-		return nil, fmt.Errorf("core: model file has no per-corner models")
+		return nil, fmt.Errorf("core: model file has no per-corner models: %w", resilience.ErrInvalidDesign)
 	}
 	return &MLStageModel{Kind: f.Kind, Models: models, Shrink: f.Shrink}, nil
 }

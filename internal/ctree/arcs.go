@@ -1,7 +1,5 @@
 package ctree
 
-import "fmt"
-
 // Arc is a tree segment without branching — the unit s_j of the paper's LP
 // formulation. It runs from a top anchor (source or branching node) down to
 // a bottom anchor (branching node, sink, or childless node), with a chain of
@@ -86,7 +84,7 @@ func (s *Segmentation) PathArcs(t *Tree, sink NodeID) ([]int, error) {
 	for cur != t.Source {
 		ai, ok := s.arcOfBottom[cur]
 		if !ok {
-			return nil, fmt.Errorf("ctree: node %d is not an arc bottom; stale segmentation?", cur)
+			return nil, invalid("node %d is not an arc bottom; stale segmentation?", cur)
 		}
 		rev = append(rev, ai)
 		cur = s.Arcs[ai].Top
@@ -123,7 +121,7 @@ func (s *Segmentation) Check(t *Tree) error {
 			continue
 		}
 		if seen[n.ID] != 1 {
-			return fmt.Errorf("ctree: node %d covered %d times by segmentation", n.ID, seen[n.ID])
+			return invalid("node %d covered %d times by segmentation", n.ID, seen[n.ID])
 		}
 	}
 	total := 0
@@ -131,7 +129,7 @@ func (s *Segmentation) Check(t *Tree) error {
 		total += c
 	}
 	if total != t.NumNodes()-1 {
-		return fmt.Errorf("ctree: segmentation covers %d nodes, tree has %d non-source nodes", total, t.NumNodes()-1)
+		return invalid("segmentation covers %d nodes, tree has %d non-source nodes", total, t.NumNodes()-1)
 	}
 	return nil
 }

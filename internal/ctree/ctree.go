@@ -13,7 +13,16 @@ import (
 	"sort"
 
 	"skewvar/internal/geom"
+	"skewvar/internal/resilience"
 )
+
+// invalid builds a ctree-prefixed error wrapping the invalid-design
+// sentinel: structural violations reported across the package boundary must
+// classify with errors.Is(err, resilience.ErrInvalidDesign) at the flow
+// boundaries (the errwrap invariant, docs/ANALYSIS.md).
+func invalid(format string, args ...interface{}) error {
+	return fmt.Errorf("ctree: "+format+": %w", append(args, resilience.ErrInvalidDesign)...)
+}
 
 // NodeID identifies a node within one Tree. IDs are dense indices into the
 // tree's node table and remain stable across edits (removed nodes leave nil
@@ -117,18 +126,18 @@ func (t *Tree) AddNode(kind Kind, loc geom.Point, cell string, parent NodeID) *N
 func (t *Tree) RemoveNode(id NodeID) error {
 	n := t.Node(id)
 	if n == nil {
-		return fmt.Errorf("ctree: remove of missing node %d", id)
+		return invalid("remove of missing node %d", id)
 	}
 	switch n.Kind {
 	case KindSource, KindSink:
-		return fmt.Errorf("ctree: cannot remove %s node %d", n.Kind, id)
+		return invalid("cannot remove %s node %d", n.Kind, id)
 	}
 	if len(n.Children) > 1 {
-		return fmt.Errorf("ctree: node %d has %d children; only chain nodes are removable", id, len(n.Children))
+		return invalid("node %d has %d children; only chain nodes are removable", id, len(n.Children))
 	}
 	p := t.Node(n.Parent)
 	if p == nil {
-		return fmt.Errorf("ctree: node %d has no parent", id)
+		return invalid("node %d has no parent", id)
 	}
 	// Unlink from parent.
 	for i, c := range p.Children {
@@ -154,18 +163,18 @@ func (t *Tree) ReassignParent(id, newParent NodeID) error {
 	n := t.Node(id)
 	np := t.Node(newParent)
 	if n == nil || np == nil {
-		return fmt.Errorf("ctree: reassign with missing node (%d → %d)", id, newParent)
+		return invalid("reassign with missing node (%d → %d)", id, newParent)
 	}
 	if n.Kind == KindSource {
-		return fmt.Errorf("ctree: cannot reassign the source")
+		return invalid("cannot reassign the source")
 	}
 	if id == newParent {
-		return fmt.Errorf("ctree: cannot parent node %d to itself", id)
+		return invalid("cannot parent node %d to itself", id)
 	}
 	// Reject if newParent is in the subtree of id (cycle).
 	for cur := newParent; cur != NoNode; cur = t.Node(cur).Parent {
 		if cur == id {
-			return fmt.Errorf("ctree: reassigning %d under its own subtree node %d", id, newParent)
+			return invalid("reassigning %d under its own subtree node %d", id, newParent)
 		}
 	}
 	old := t.Node(n.Parent)
@@ -388,52 +397,52 @@ func (t *Tree) SubtreeSinks(id NodeID) []NodeID {
 func (t *Tree) Validate() error {
 	src := t.Node(t.Source)
 	if src == nil || src.Kind != KindSource {
-		return fmt.Errorf("ctree: bad source node %d", t.Source)
+		return invalid("bad source node %d", t.Source)
 	}
 	if src.Parent != NoNode {
-		return fmt.Errorf("ctree: source has a parent")
+		return invalid("source has a parent")
 	}
 	seen := make(map[NodeID]bool)
 	order := t.Topo()
 	for _, id := range order {
 		if seen[id] {
-			return fmt.Errorf("ctree: node %d visited twice (cycle or duplicate child link)", id)
+			return invalid("node %d visited twice (cycle or duplicate child link)", id)
 		}
 		seen[id] = true
 		n := t.Node(id)
 		if n == nil {
-			return fmt.Errorf("ctree: child link to removed node %d", id)
+			return invalid("child link to removed node %d", id)
 		}
 		if n.ID != id {
-			return fmt.Errorf("ctree: node %d has mismatched ID %d", id, n.ID)
+			return invalid("node %d has mismatched ID %d", id, n.ID)
 		}
 		if n.Kind == KindSink && len(n.Children) > 0 {
-			return fmt.Errorf("ctree: sink %d has children", id)
+			return invalid("sink %d has children", id)
 		}
 		if (n.Kind == KindBuffer || n.Kind == KindSource) && n.CellName == "" {
-			return fmt.Errorf("ctree: driving node %d has no cell", id)
+			return invalid("driving node %d has no cell", id)
 		}
 		if n.Detour < 0 {
-			return fmt.Errorf("ctree: node %d has negative detour", id)
+			return invalid("node %d has negative detour", id)
 		}
 		for _, c := range n.Children {
 			ch := t.Node(c)
 			if ch == nil {
-				return fmt.Errorf("ctree: node %d links to removed child %d", id, c)
+				return invalid("node %d links to removed child %d", id, c)
 			}
 			if ch.Parent != id {
-				return fmt.Errorf("ctree: child %d of %d has parent %d", c, id, ch.Parent)
+				return invalid("child %d of %d has parent %d", c, id, ch.Parent)
 			}
 		}
 		if n.Kind != KindSource {
 			if n.Parent == NoNode || t.Node(n.Parent) == nil {
-				return fmt.Errorf("ctree: node %d has missing parent", id)
+				return invalid("node %d has missing parent", id)
 			}
 		}
 	}
 	for _, n := range t.Nodes {
 		if n != nil && !seen[n.ID] {
-			return fmt.Errorf("ctree: node %d unreachable from source", n.ID)
+			return invalid("node %d unreachable from source", n.ID)
 		}
 	}
 	return nil

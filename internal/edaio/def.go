@@ -77,14 +77,14 @@ func ReadDEF(r io.Reader) (*DEFDesign, error) {
 			if len(f) >= 4 {
 				v, err := strconv.ParseFloat(f[3], 64)
 				if err != nil || v <= 0 {
-					return nil, fmt.Errorf("edaio: line %d: bad UNITS", line)
+					return nil, invalid("line %d: bad UNITS", line)
 				}
 				d.DBUPerUM = v
 			}
 		case f[0] == "DIEAREA":
 			lo, hi, err := parseDieArea(f, d.DBUPerUM)
 			if err != nil {
-				return nil, fmt.Errorf("edaio: line %d: %v", line, err)
+				return nil, invalid("line %d: %v", line, err)
 			}
 			d.Die = geom.NewRect(lo, hi)
 		case f[0] == "COMPONENTS":
@@ -96,13 +96,13 @@ func ReadDEF(r io.Reader) (*DEFDesign, error) {
 		case f[0] == "-" && section == "components":
 			c, err := parseComponent(f, d.DBUPerUM)
 			if err != nil {
-				return nil, fmt.Errorf("edaio: line %d: %v", line, err)
+				return nil, invalid("line %d: %v", line, err)
 			}
 			d.Components = append(d.Components, c)
 		case f[0] == "-" && section == "nets":
 			n, err := parseNet(f)
 			if err != nil {
-				return nil, fmt.Errorf("edaio: line %d: %v", line, err)
+				return nil, invalid("line %d: %v", line, err)
 			}
 			d.Nets = append(d.Nets, n)
 		}
@@ -111,7 +111,7 @@ func ReadDEF(r io.Reader) (*DEFDesign, error) {
 		return nil, fmt.Errorf("edaio: reading DEF: %w", err)
 	}
 	if d.Name == "" {
-		return nil, fmt.Errorf("edaio: DEF has no DESIGN statement")
+		return nil, invalid("DEF has no DESIGN statement")
 	}
 	return d, nil
 }
@@ -190,7 +190,7 @@ func parseNet(f []string) (DEFNet, error) {
 // clock source is the driver that no net loads.
 func DesignFromDEF(d *DEFDesign, sinkCellPrefix string) (*ctree.Design, error) {
 	if len(d.Components) == 0 {
-		return nil, fmt.Errorf("edaio: DEF has no components")
+		return nil, invalid("DEF has no components")
 	}
 	// Identify drivers and loads.
 	driverOf := map[string]string{} // load inst -> driver inst
@@ -198,13 +198,13 @@ func DesignFromDEF(d *DEFDesign, sinkCellPrefix string) (*ctree.Design, error) {
 	isLoad := map[string]bool{}
 	for _, n := range d.Nets {
 		if len(n.Pins) < 2 {
-			return nil, fmt.Errorf("edaio: net %s has no loads", n.Name)
+			return nil, invalid("net %s has no loads", n.Name)
 		}
 		drv := n.Pins[0].Inst
 		isDriver[drv] = true
 		for _, p := range n.Pins[1:] {
 			if prev, dup := driverOf[p.Inst]; dup && prev != drv {
-				return nil, fmt.Errorf("edaio: instance %s driven by both %s and %s", p.Inst, prev, drv)
+				return nil, invalid("instance %s driven by both %s and %s", p.Inst, prev, drv)
 			}
 			driverOf[p.Inst] = drv
 			isLoad[p.Inst] = true
@@ -215,17 +215,17 @@ func DesignFromDEF(d *DEFDesign, sinkCellPrefix string) (*ctree.Design, error) {
 	for inst := range isDriver {
 		if !isLoad[inst] {
 			if sourceName != "" {
-				return nil, fmt.Errorf("edaio: multiple root drivers (%s, %s)", sourceName, inst)
+				return nil, invalid("multiple root drivers (%s, %s)", sourceName, inst)
 			}
 			sourceName = inst
 		}
 	}
 	if sourceName == "" {
-		return nil, fmt.Errorf("edaio: no root driver found (cyclic nets?)")
+		return nil, invalid("no root driver found (cyclic nets?)")
 	}
 	srcComp := d.ComponentByName(sourceName)
 	if srcComp == nil {
-		return nil, fmt.Errorf("edaio: root driver %s has no component", sourceName)
+		return nil, invalid("root driver %s has no component", sourceName)
 	}
 	tree := ctree.NewTree(srcComp.Loc, srcComp.Cell)
 	ids := map[string]ctree.NodeID{sourceName: tree.Source}
@@ -244,7 +244,7 @@ func DesignFromDEF(d *DEFDesign, sinkCellPrefix string) (*ctree.Design, error) {
 		for _, child := range childrenOf[cur] {
 			comp := d.ComponentByName(child)
 			if comp == nil {
-				return nil, fmt.Errorf("edaio: net load %s has no component", child)
+				return nil, invalid("net load %s has no component", child)
 			}
 			kind := ctree.KindBuffer
 			cell := comp.Cell

@@ -361,7 +361,7 @@ func WriteDEF(w io.Writer, d *ctree.Design) error {
 // lumped RC per tree edge.
 func WriteSPEF(w io.Writer, d *ctree.Design, t *tech.Tech, corner int) error {
 	if corner < 0 || corner >= t.NumCorners() {
-		return fmt.Errorf("edaio: corner %d out of range", corner)
+		return invalid("corner %d out of range", corner)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"%s\"\n*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 KOHM\n*CORNER %s\n\n",

@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -163,7 +164,7 @@ func TrainedModel(cfg Config) (*core.MLStageModel, error) {
 		return m, nil
 	}
 	t, _ := Technology()
-	m, err := core.TrainStageModel(t, core.TrainConfig{
+	m, err := core.TrainStageModel(context.Background(), t, core.TrainConfig{
 		Cases:        cfg.TrainCases,
 		MovesPerCase: cfg.TrainMoves,
 		Kind:         cfg.ModelKind,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,7 +40,10 @@ func Figure5(cfg Config) ([]Figure5Result, *report.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	hold := core.BuildDataset(t, cfg.TrainCases/3+4, cfg.TrainMoves/2+4, cfg.Seed+7777)
+	hold, err := core.BuildDataset(context.Background(), t, cfg.TrainCases/3+4, cfg.TrainMoves/2+4, cfg.Seed+7777)
+	if err != nil {
+		return nil, nil, err
+	}
 	accs := core.EvaluateStageModel(model, hold)
 	tb := &report.Table{
 		Title:   fmt.Sprintf("Figure 5: %s delta-latency model accuracy (held-out)", cfg.ModelKind),

@@ -12,6 +12,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"skewvar/internal/resilience"
 )
@@ -142,12 +143,8 @@ func (p *Problem) AddConstraint(sense Sense, rhs float64, idx []int, coef []floa
 	for v := range merged {
 		mi = append(mi, v)
 	}
-	// Deterministic order.
-	for i := 1; i < len(mi); i++ {
-		for j := i; j > 0 && mi[j] < mi[j-1]; j-- {
-			mi[j], mi[j-1] = mi[j-1], mi[j]
-		}
-	}
+	// Deterministic column order regardless of map iteration.
+	sort.Ints(mi)
 	for _, v := range mi {
 		mc = append(mc, merged[v])
 	}

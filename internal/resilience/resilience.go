@@ -31,8 +31,9 @@ var (
 	// iteration-limit exhaustion, or a numerically wedged basis.
 	ErrSolver = errors.New("solver failure")
 
-	// ErrInvalidDesign reports malformed design input (NaN geometry,
-	// unknown cells, orphan parents, broken tree invariants).
+	// ErrInvalidDesign reports malformed input to a flow: design data (NaN
+	// geometry, unknown cells, orphan parents, broken tree invariants) as
+	// well as unusable model bundles and inconsistent flow configuration.
 	ErrInvalidDesign = errors.New("invalid design")
 
 	// ErrCheckpoint reports a checkpoint serialization or I/O failure.
