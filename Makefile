@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet lint lint-fix-report build test race bench fuzz help
+.PHONY: tier1 vet lint lint-fix-report cover build test race bench fuzz help
 
-tier1: lint build test race
+tier1: lint cover build test race
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,19 @@ lint-fix-report:
 	$(GO) run ./cmd/skewlint -json ./... > LINT_report.json || true
 	@echo "wrote LINT_report.json"
 
+# Per-package statement coverage (-short; the matrices don't change
+# coverage). internal/obs carries a hard 70% floor — it is the measurement
+# layer, and an unmeasured measurement layer is how silent trace corruption
+# ships. Every other package is report-only in COVER_report.txt.
+cover:
+	$(GO) test -short -count=1 -cover ./... > COVER_report.txt || { cat COVER_report.txt; exit 1; }
+	@cat COVER_report.txt
+	@pct=$$(awk '$$2=="skewvar/internal/obs" && $$4=="coverage:" {print $$5}' COVER_report.txt | tr -d '%'); \
+	if [ -z "$$pct" ]; then echo "cover: no coverage line for internal/obs"; exit 1; fi; \
+	if ! awk -v p="$$pct" 'BEGIN {exit !(p+0 >= 70)}'; then \
+		echo "cover: internal/obs coverage $$pct% is under the 70% floor"; exit 1; fi; \
+	echo "cover: internal/obs coverage $$pct% (floor 70%); other packages report-only"
+
 build:
 	$(GO) build ./...
 
@@ -37,24 +50,28 @@ test:
 # invariant most worth catching a data race in.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/
+	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/ ./internal/obs/
 
 # Parallel STA / concurrent-trial benchmarks, recorded as benchstat-style
-# records in BENCH_pr2.json (cmd/benchjson converts the bench text and
-# derives per-group speedups against the j=1 serial baseline).
+# records in BENCH_pr4.json (cmd/benchjson converts the bench text, derives
+# per-group speedups against the j=1 serial baseline, and collects the
+# OBSMETRIC gauges — cache hit rate, move accept rate — the benchmarks log
+# from their untimed regions). Compare ns/op against BENCH_pr2.json to see
+# the disabled-instrumentation overhead (the timed loops run with Obs nil).
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr4.json
 
 # 30-second fuzz pass over the design reader's validation layer.
 fuzz:
 	$(GO) test ./internal/edaio/ -run '^$$' -fuzz FuzzReadDesign -fuzztime 30s
 
 help:
-	@echo "tier1            lint + build + test + race (the merge gate)"
+	@echo "tier1            lint + cover + build + test + race (the merge gate)"
 	@echo "lint             go vet + skewlint invariant analyzers (docs/ANALYSIS.md)"
 	@echo "lint-fix-report  skewlint -json -> LINT_report.json (never fails the build)"
+	@echo "cover            -short coverage -> COVER_report.txt; internal/obs must be >= 70%"
 	@echo "build            go build ./..."
 	@echo "test             go test ./..."
 	@echo "race             -short suite under -race, then 3x the Parallel equivalence tests"
-	@echo "bench            parallel STA benchmarks -> BENCH_pr2.json"
+	@echo "bench            parallel STA benchmarks + OBSMETRIC gauges -> BENCH_pr4.json"
 	@echo "fuzz             30s fuzz of the design reader"

@@ -25,6 +25,7 @@ import (
 	"skewvar/internal/geom"
 	"skewvar/internal/lp"
 	"skewvar/internal/lut"
+	"skewvar/internal/obs"
 	"skewvar/internal/power"
 	"skewvar/internal/route"
 	"skewvar/internal/sta"
@@ -335,12 +336,22 @@ func BenchmarkSTAAnalyzeParallel(b *testing.B) {
 				if mode == "warm" {
 					tm.Analyze(d.Tree)
 				}
+				pre := tm.CacheStats()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if mode == "cold" {
 						tm.FlushNetCache()
 					}
 					tm.Analyze(d.Tree)
+				}
+				b.StopTimer()
+				// OBSMETRIC lines ride the bench log into BENCH_*.json via
+				// cmd/benchjson. Cache counters are cumulative on the timer,
+				// so report the delta this sub-benchmark produced.
+				post := tm.CacheStats()
+				if traffic := (post.Hits - pre.Hits) + (post.Misses - pre.Misses); traffic > 0 {
+					b.Logf("OBSMETRIC sta_cache_hit_rate/%s/j=%d=%.4f",
+						mode, j, float64(post.Hits-pre.Hits)/float64(traffic))
 				}
 			})
 		}
@@ -372,6 +383,25 @@ func BenchmarkLocalMovesParallel(b *testing.B) {
 				}); err != nil {
 					b.Fatal(err)
 				}
+			}
+			b.StopTimer()
+			if j != 1 {
+				return
+			}
+			// One instrumented run outside the timed loop (the timed loop
+			// stays Obs-nil so the sweep measures the uninstrumented path);
+			// the accept rate is identical at every j, so j=1 suffices.
+			rec := obs.New()
+			if _, err := core.LocalOpt(context.Background(), env.Timer, env.Design, alphas, core.LocalConfig{
+				Model: model, TopPairs: cfg.TopPairs, MaxIters: 3,
+				Seed: cfg.Seed, Workers: j, Obs: rec,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			snap := rec.Snapshot()
+			if tried := snap.Counters["local.moves.tried"]; tried > 0 {
+				b.Logf("OBSMETRIC local_move_accept_rate=%.4f",
+					float64(snap.Counters["local.moves.accepted"])/float64(tried))
 			}
 		})
 	}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench Parallel -benchmem . | benchjson > BENCH_pr2.json
+//	go test -run '^$' -bench Parallel -benchmem . | benchjson > BENCH_pr4.json
 package main
 
 import (
@@ -40,6 +40,10 @@ type Report struct {
 	NumCPU     int                `json:"num_cpu"`
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups_vs_j1,omitempty"`
+
+	// Metrics collects the "OBSMETRIC name=value" lines benchmarks log from
+	// their untimed regions (cache hit rates, move accept rates, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -60,6 +64,26 @@ func main() {
 			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		if i := strings.Index(line, "OBSMETRIC "); i >= 0 {
+			// The marker follows a "bench_test.go:N:" log prefix; each token
+			// after it is name=value, where the name itself may contain '='
+			// (e.g. "…/j=1"), so split at the last one.
+			for _, tok := range strings.Fields(line[i+len("OBSMETRIC "):]) {
+				eq := strings.LastIndex(tok, "=")
+				if eq <= 0 {
+					continue
+				}
+				v, err := strconv.ParseFloat(tok[eq+1:], 64)
+				if err != nil {
+					continue
+				}
+				if rep.Metrics == nil {
+					rep.Metrics = map[string]float64{}
+				}
+				rep.Metrics[tok[:eq]] = v
+			}
+			continue
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {

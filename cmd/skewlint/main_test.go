@@ -170,7 +170,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"maporder", "detsource", "ctxflow", "errwrap", "poolbound"} {
+	for _, name := range []string{"maporder", "detsource", "ctxflow", "errwrap", "poolbound", "obsclock"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

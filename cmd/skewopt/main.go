@@ -22,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers, served behind -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -32,6 +35,7 @@ import (
 	"skewvar/internal/edaio"
 	"skewvar/internal/exp"
 	"skewvar/internal/faults"
+	"skewvar/internal/obs"
 	"skewvar/internal/report"
 	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
@@ -60,6 +64,9 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for per-corner STA and concurrent move trials (1 = exact serial paths; results are identical at any -j)")
 	faultSpec := flag.String("faults", "", "deterministic fault injection spec, e.g. 'lp-solve:first=1,checkpoint-write:p=0.5' (testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
+	tracePath := flag.String("trace", "", "write a JSONL run trace here (docs/OBSERVABILITY.md)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot here")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060 or 127.0.0.1:0)")
 	flag.Parse()
 
 	// Context: Ctrl-C / SIGTERM and -timeout both cancel the flow at the
@@ -87,6 +94,24 @@ func main() {
 	}
 	if *resume && *checkpoint == "" {
 		usagef("-resume needs -checkpoint")
+	}
+
+	// Instrumentation is opt-in: the recorder stays nil (every obs call a
+	// no-op) unless a sink was requested.
+	var rec *obs.Recorder
+	if *tracePath != "" || *metricsPath != "" {
+		rec = obs.New()
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			usagef("-pprof %s: %v", *pprofAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "skewopt: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		// The pprof server must outlive every flow stage, so it cannot run
+		// inside the bounded worker pools; it dies with the process.
+		//lint:ignore poolbound pprof listener is process-lifetime by design
+		go func() { _ = http.Serve(ln, nil) }()
 	}
 
 	d, tm := loadDesign(*designPath, *caseName, *ffs)
@@ -125,10 +150,29 @@ func main() {
 			EveryIters: *ckptEvery,
 		},
 		Resume: cp,
+		Obs:    rec,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "skewopt: "+format+"\n", args...)
 		},
 	})
+	// Sinks are written for interrupted runs too: a canceled flow's partial
+	// trace is often exactly what the operator wants to look at.
+	writeObs := func() bool {
+		ok := true
+		if *tracePath != "" {
+			if err := rec.WriteTrace(*tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "skewopt: writing trace: %v\n", err)
+				ok = false
+			}
+		}
+		if *metricsPath != "" {
+			if err := rec.WriteMetrics(*metricsPath); err != nil {
+				fmt.Fprintf(os.Stderr, "skewopt: writing metrics: %v\n", err)
+				ok = false
+			}
+		}
+		return ok
+	}
 	interrupted := errors.Is(err, resilience.ErrCanceled)
 	if err != nil && !interrupted {
 		fatalf("flows: %v", err)
@@ -136,6 +180,7 @@ func main() {
 	if res == nil {
 		fatalf("flows returned no result")
 	}
+	obsOK := writeObs()
 
 	tb := &report.Table{
 		Title:   "skew variation results",
@@ -181,6 +226,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skewopt: rerun with -resume to continue from %s\n", *checkpoint)
 		}
 		os.Exit(exitInterrupted)
+	}
+	// A requested -trace/-metrics artifact that failed to write fails the
+	// run, like -o does; interrupted runs keep exit 3 (the warning stands).
+	if !obsOK {
+		os.Exit(exitFlowFailure)
 	}
 }
 

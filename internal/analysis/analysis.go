@@ -20,6 +20,8 @@
 //	errwrap   — errors crossing package boundaries wrap the resilience
 //	            taxonomy via %w
 //	poolbound — goroutines only inside the sanctioned worker pools
+//	obsclock  — obs emit paths stamp through the injected Clock, never
+//	            package time directly
 //
 // Findings can be suppressed, one site at a time, with
 //
@@ -96,7 +98,7 @@ func pkgSet(paths ...string) func(string) bool {
 	return func(path string) bool { return set[path] }
 }
 
-// Suite returns the five analyzers with their production scopes bound to
+// Suite returns the six analyzers with their production scopes bound to
 // this repository's import paths.
 func Suite() []*Analyzer {
 	return []*Analyzer{
@@ -105,6 +107,7 @@ func Suite() []*Analyzer {
 		Ctxflow(),
 		Errwrap(),
 		Poolbound(DefaultPools),
+		Obsclock(),
 	}
 }
 

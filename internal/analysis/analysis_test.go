@@ -146,6 +146,11 @@ func TestErrwrapCorpus(t *testing.T) {
 	checkCorpus(t, p, Errwrap().Run(p))
 }
 
+func TestObsclockCorpus(t *testing.T) {
+	p := loadCorpus(t, "obsclock")
+	checkCorpus(t, p, Obsclock().Run(p))
+}
+
 func TestPoolboundCorpus(t *testing.T) {
 	p := loadCorpus(t, "poolbound")
 	// Bind the sanctioned-pool allowlist to the corpus package's runIndexed,

@@ -1,0 +1,21 @@
+// Package obsclock is golden-corpus input for the obsclock analyzer.
+// This file mirrors internal/obs/clock.go: it is named clock.go, so its
+// wall-clock reads are exempt — it IS the injected-clock implementation.
+package obsclock
+
+import "time"
+
+// epoch anchors the monotonic offsets, read once at init.
+var epoch = time.Now()
+
+// Clock yields monotonic nanosecond timestamps.
+type Clock interface {
+	Now() int64
+}
+
+type wall struct{}
+
+func (wall) Now() int64 { return int64(time.Since(epoch)) }
+
+// NewWall returns the production clock.
+func NewWall() Clock { return wall{} }

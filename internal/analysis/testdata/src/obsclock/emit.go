@@ -1,0 +1,40 @@
+package obsclock
+
+import "time"
+
+// span is a corpus stand-in for the recorder's emit path.
+type span struct {
+	clock Clock
+	start int64
+}
+
+// StartGood stamps through the injected clock — the sanctioned path.
+func StartGood(c Clock) *span {
+	return &span{clock: c, start: c.Now()}
+}
+
+// StartBad reads the wall clock directly in an emit path.
+func StartBad(c Clock) *span {
+	return &span{clock: c, start: time.Now().UnixNano()} // want "time.Now outside clock.go"
+}
+
+// DurBad measures a duration with the package-level reader.
+func DurBad(t0 time.Time) int64 {
+	return int64(time.Since(t0)) // want "time.Since outside clock.go"
+}
+
+// DeadlineBad is the third package-level reader.
+func DeadlineBad(t1 time.Time) int64 {
+	return int64(time.Until(t1)) // want "time.Until outside clock.go"
+}
+
+// SubIsFine: time.Time.Sub is a method on values already obtained; it does
+// not read the clock.
+func SubIsFine(a, b time.Time) int64 {
+	return int64(a.Sub(b))
+}
+
+// ConstIsFine: using the time package for constants never reads the clock.
+func ConstIsFine() time.Duration {
+	return 5 * time.Millisecond
+}

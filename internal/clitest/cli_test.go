@@ -4,12 +4,16 @@
 package clitest
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"skewvar/internal/obs"
 )
 
 // repoRoot locates the module root (two levels above this package).
@@ -140,6 +144,121 @@ func TestSkewoptRobustnessCLI(t *testing.T) {
 		}
 		if !strings.Contains(out, "resuming from") || !strings.Contains(out, "local") {
 			t.Errorf("resumed run output unexpected:\n%s", out)
+		}
+	})
+}
+
+// TestSkewoptObservabilityCLI checks the -trace/-metrics/-pprof contract:
+// the emitted JSONL trace is schema-valid, its canonical form is
+// byte-identical across worker counts and across an interrupt/resume cycle,
+// the metrics snapshot carries the documented gauges, and -pprof serves.
+func TestSkewoptObservabilityCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "skewopt")
+	run(t, root, "build", "-o", bin, "./cmd/skewopt")
+	model := filepath.Join(tmp, "m.json")
+	run(t, root, "run", "./cmd/trainml", "-kind", "ridge", "-cases", "6",
+		"-moves", "6", "-eval=false", "-o", model)
+	base := []string{"-case", "CLS1v1", "-ffs", "120", "-model", model,
+		"-flow", "local", "-pairs", "100", "-iters", "2"}
+
+	readTrace := func(path string) []obs.Record {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("opening trace: %v", err)
+		}
+		defer f.Close()
+		recs, err := obs.ReadTrace(f)
+		if err != nil {
+			t.Fatalf("parsing trace %s: %v", path, err)
+		}
+		if err := obs.ValidateTrace(recs); err != nil {
+			t.Fatalf("trace %s structurally invalid: %v", path, err)
+		}
+		return recs
+	}
+
+	traceA := filepath.Join(tmp, "a.jsonl")
+	metricsA := filepath.Join(tmp, "a.json")
+	out, code := runBin(t, bin, append([]string{"-j", "1",
+		"-trace", traceA, "-metrics", metricsA,
+		"-checkpoint", filepath.Join(tmp, "a.ckpt")}, base...)...)
+	if code != 0 {
+		t.Fatalf("j=1 instrumented run: exit %d\n%s", code, out)
+	}
+	canonA := obs.CanonicalTrace(readTrace(traceA))
+	if len(canonA) == 0 {
+		t.Fatal("instrumented run emitted an empty trace")
+	}
+
+	var snap obs.Snapshot
+	raw, err := os.ReadFile(metricsA)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not a snapshot: %v", err)
+	}
+	if snap.Counters["local.moves.tried"] == 0 {
+		t.Errorf("metrics missing local.moves.tried counter: %v", snap.Counters)
+	}
+	if _, ok := snap.Gauges["sta.net_cache.hit_rate"]; !ok {
+		t.Errorf("metrics missing sta.net_cache.hit_rate gauge: %v", snap.Gauges)
+	}
+
+	traceB := filepath.Join(tmp, "b.jsonl")
+	if out, code := runBin(t, bin, append([]string{"-j", "4", "-trace", traceB,
+		"-checkpoint", filepath.Join(tmp, "b.ckpt")}, base...)...); code != 0 {
+		t.Fatalf("j=4 instrumented run: exit %d\n%s", code, out)
+	}
+	if canonB := obs.CanonicalTrace(readTrace(traceB)); !bytes.Equal(canonA, canonB) {
+		t.Errorf("canonical trace differs between -j 1 and -j 4")
+	}
+
+	// Interrupt, then resume: the resumed run's canonical trace must equal a
+	// full run's (the 1ns timeout cancels before the first iteration, so the
+	// resumed run replays the whole stage).
+	ckpt := filepath.Join(tmp, "c.ckpt")
+	traceC := filepath.Join(tmp, "c.jsonl")
+	if out, code := runBin(t, bin, append([]string{"-j", "4", "-trace", traceC,
+		"-checkpoint", ckpt, "-timeout", "1ns"}, base...)...); code != 3 {
+		t.Fatalf("timed-out run: exit %d, want 3\n%s", code, out)
+	}
+	readTrace(traceC) // partial trace must still be written and valid
+	traceD := filepath.Join(tmp, "d.jsonl")
+	if out, code := runBin(t, bin, append([]string{"-j", "4", "-trace", traceD,
+		"-checkpoint", ckpt, "-resume"}, base...)...); code != 0 {
+		t.Fatalf("resumed run: exit %d\n%s", code, out)
+	}
+	if canonD := obs.CanonicalTrace(readTrace(traceD)); !bytes.Equal(canonA, canonD) {
+		t.Errorf("canonical trace of resumed run differs from a full run")
+	}
+
+	t.Run("pprof", func(t *testing.T) {
+		out, code := runBin(t, bin, append([]string{"-pprof", "127.0.0.1:0"}, base...)...)
+		if code != 0 {
+			t.Fatalf("pprof run: exit %d\n%s", code, out)
+		}
+		if !strings.Contains(out, "pprof on http://127.0.0.1:") {
+			t.Errorf("pprof address line missing:\n%s", out)
+		}
+	})
+
+	t.Run("unwritable-sink-exit-1", func(t *testing.T) {
+		// A requested trace/metrics artifact that cannot be written fails
+		// the run, exactly like an unwritable -o.
+		bad := filepath.Join(t.TempDir(), "missing", "t.jsonl")
+		out, code := runBin(t, bin, append([]string{"-trace", bad}, base...)...)
+		if code != 1 {
+			t.Errorf("unwritable -trace: exit %d, want 1\n%s", code, out)
+		}
+		if !strings.Contains(out, "writing trace") {
+			t.Errorf("unwritable -trace: missing error line:\n%s", out)
 		}
 	})
 }

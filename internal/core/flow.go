@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"skewvar/internal/ctree"
 	"skewvar/internal/faults"
 	"skewvar/internal/lut"
+	"skewvar/internal/obs"
 	"skewvar/internal/power"
 	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
@@ -67,6 +69,14 @@ type FlowConfig struct {
 	// checkpoint loaded with LoadCheckpoint.
 	Checkpoint CheckpointConfig
 	Resume     *Checkpoint
+
+	// Obs, when non-nil, receives the run's trace (flow/flow.stage spans,
+	// checkpoint and fault events, plus the stage-level spans of GlobalOpt,
+	// LocalOpt, and the timer) and metrics (docs/OBSERVABILITY.md). It is
+	// installed on the timer and propagated to both stage configs unless
+	// they carry their own. Nil (the default) keeps every instrumentation
+	// site a no-op.
+	Obs *obs.Recorder
 
 	// Logf receives degradation warnings (nil = silent).
 	Logf func(format string, args ...interface{})
@@ -132,6 +142,26 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tm.Workers = workers
+	if cfg.Obs != nil {
+		tm.Obs = cfg.Obs
+	}
+
+	var fsp *obs.Span
+	if cfg.Obs != nil {
+		// The worker count is a gauge, not a span attr: the canonical trace
+		// must be byte-identical across -j settings.
+		cfg.Obs.Gauge("flow.workers").Set(float64(workers))
+		fsp = cfg.Obs.StartSpan("flow",
+			obs.S("stages", strings.Join(stages, ",")),
+			obs.I("pairs", len(pairs)))
+		// Injected faults become trace events. Decisions are pre-drawn
+		// serially (see LocalOpt) and the per-hook call indices advance
+		// deterministically, so the event stream is identical at any -j.
+		cfg.Faults.SetObserver(func(hook string, call int) {
+			fsp.Event("fault.injected", obs.S("hook", hook), obs.I("call", call))
+		})
+		defer cfg.Faults.SetObserver(nil)
+	}
 
 	rec := resilience.NewRecorder()
 	a0 := tm.Analyze(d.Tree)
@@ -145,6 +175,21 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	finish := func(err error) (*FlowResult, error) {
 		res.Faults = rec.Counts()
 		res.Degraded = rec.Total() > 0
+		if cfg.Obs != nil {
+			// Terminal gauges. Cache traffic is exact but schedule-dependent
+			// under concurrent trials, so it lives here in the metrics
+			// snapshot and never in the trace (docs/PARALLELISM.md).
+			cs := tm.CacheStats()
+			cfg.Obs.Gauge("sta.net_cache.hits").Set(float64(cs.Hits))
+			cfg.Obs.Gauge("sta.net_cache.misses").Set(float64(cs.Misses))
+			cfg.Obs.Gauge("sta.net_cache.evictions").Set(float64(cs.Evictions))
+			cfg.Obs.Gauge("sta.net_cache.hit_rate").Set(cs.HitRate())
+			if tried := cfg.Obs.Counter("local.moves.tried").Value(); tried > 0 {
+				acc := cfg.Obs.Counter("local.moves.accepted").Value()
+				cfg.Obs.Gauge("local.move_accept_rate").Set(float64(acc) / float64(tried))
+			}
+			fsp.End()
+		}
 		return res, err
 	}
 	snap := func(tr *ctree.Tree) Metrics {
@@ -184,9 +229,18 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 		// Saves run under a fresh context: the most important checkpoint is
 		// the one written after cancellation, and it must not be vetoed by
 		// the very deadline it is rescuing progress from.
+		// Checkpoint events carry the stage/iter but never the path: the
+		// canonical trace must compare across runs in different directories.
 		if err := SaveCheckpoint(context.Background(), cfg.Checkpoint.Path, d, cp, cfg.Faults); err != nil {
 			rec.Record("checkpoint-write")
 			logf("warning: checkpoint save failed: %v", err)
+			if fsp != nil {
+				fsp.Event("flow.checkpoint.failed", obs.S("stage", stage), obs.I("iter", iter))
+			}
+			return
+		}
+		if fsp != nil {
+			fsp.Event("flow.checkpoint.saved", obs.S("stage", stage), obs.I("iter", iter))
 		}
 	}
 	every := cfg.Checkpoint.EveryIters
@@ -205,6 +259,9 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	if gcfg.Workers == 0 {
 		gcfg.Workers = workers
 	}
+	if gcfg.Obs == nil {
+		gcfg.Obs = cfg.Obs
+	}
 	lcfg := cfg.Local
 	lcfg.Model = model
 	lcfg.TopPairs = cfg.TopPairs
@@ -216,6 +273,9 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	}
 	if lcfg.Workers == 0 {
 		lcfg.Workers = workers
+	}
+	if lcfg.Obs == nil {
+		lcfg.Obs = cfg.Obs
 	}
 
 	// runLocal runs one local stage with mid-stage checkpointing and resume,
@@ -249,8 +309,15 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 	// Global stage — also the input of global-local.
 	globalTree := d.Tree
 	if want["global"] || want["global-local"] {
+		var ssp *obs.Span
+		if fsp != nil {
+			ssp = fsp.StartChild("flow.stage", obs.S("stage", "global"))
+		}
 		if t, ok := doneTrees["global"]; ok {
 			globalTree = t
+			if ssp != nil {
+				ssp.Event("flow.stage.restored", obs.S("stage", "global"))
+			}
 		} else {
 			var gres *GlobalResult
 			err := resilience.Safely("global stage", func() error {
@@ -265,9 +332,13 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 					res.Trees["global"] = gres.Tree
 					res.Global = snap(gres.Tree)
 				}
+				ssp.End()
 				return finish(err)
 			case err != nil:
 				rec.Record("stage-fallback")
+				if ssp != nil {
+					ssp.Event("flow.stage.fallback", obs.S("stage", "global"))
+				}
 				logf("warning: global stage failed (%v); keeping the unmodified tree", err)
 			default:
 				res.GRes = gres
@@ -278,13 +349,21 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 		res.Global = snap(globalTree)
 		completed = append(completed, "global")
 		save("", 0, nil)
+		ssp.End()
 	}
 
 	// Local alone.
 	if want["local"] {
+		var ssp *obs.Span
+		if fsp != nil {
+			ssp = fsp.StartChild("flow.stage", obs.S("stage", "local"))
+		}
 		if t, ok := doneTrees["local"]; ok {
 			res.Trees["local"] = t
 			res.Local = snap(t)
+			if ssp != nil {
+				ssp.Event("flow.stage.restored", obs.S("stage", "local"))
+			}
 		} else {
 			lres, lastIter, err := runLocal("local", d)
 			switch {
@@ -295,9 +374,13 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 					res.Local = snap(lres.Tree)
 					save("local", lastIter, lres.Tree)
 				}
+				ssp.End()
 				return finish(err)
 			case err != nil:
 				rec.Record("stage-fallback")
+				if ssp != nil {
+					ssp.Event("flow.stage.fallback", obs.S("stage", "local"))
+				}
 				logf("warning: local stage failed (%v); keeping the unmodified tree", err)
 				res.Trees["local"] = d.Tree
 				res.Local = snap(d.Tree)
@@ -309,13 +392,21 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 		}
 		completed = append(completed, "local")
 		save("", 0, nil)
+		ssp.End()
 	}
 
 	// Global then local.
 	if want["global-local"] {
+		var ssp *obs.Span
+		if fsp != nil {
+			ssp = fsp.StartChild("flow.stage", obs.S("stage", "global-local"))
+		}
 		if t, ok := doneTrees["global-local"]; ok {
 			res.Trees["global-local"] = t
 			res.GLocal = snap(t)
+			if ssp != nil {
+				ssp.Event("flow.stage.restored", obs.S("stage", "global-local"))
+			}
 		} else {
 			dg := d.Clone()
 			dg.Tree = globalTree.Clone()
@@ -328,9 +419,13 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 					res.GLocal = snap(glres.Tree)
 					save("global-local", lastIter, glres.Tree)
 				}
+				ssp.End()
 				return finish(err)
 			case err != nil:
 				rec.Record("stage-fallback")
+				if ssp != nil {
+					ssp.Event("flow.stage.fallback", obs.S("stage", "global-local"))
+				}
 				logf("warning: global-local stage failed (%v); keeping the global tree", err)
 				res.Trees["global-local"] = globalTree
 				res.GLocal = snap(globalTree)
@@ -342,6 +437,7 @@ func RunFlows(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design,
 		}
 		completed = append(completed, "global-local")
 		save("", 0, nil)
+		ssp.End()
 	}
 	return finish(nil)
 }

@@ -12,6 +12,7 @@ import (
 	"skewvar/internal/legalize"
 	"skewvar/internal/lp"
 	"skewvar/internal/lut"
+	"skewvar/internal/obs"
 	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 )
@@ -42,6 +43,12 @@ type GlobalConfig struct {
 	// parallelism for the run (normally threaded in by RunFlows; the LP
 	// itself is serial). Results are identical at any setting.
 	Workers int
+
+	// Obs, when non-nil, receives the global.opt/global.sweep span tree,
+	// lp.solve and global.budget_halved events, and the LP counters
+	// (docs/OBSERVABILITY.md). Normally set by RunFlows. Nil keeps
+	// instrumentation free.
+	Obs *obs.Recorder
 
 	// FreeDelta switches to the paper's literal formulation with an
 	// independent Δ variable per (arc, corner), guarded only by the
@@ -95,6 +102,7 @@ type LPStat struct {
 	Block       int
 	Rows, Cols  int
 	Iters       int
+	Refactors   int // basis refactorizations (numerical-health signal)
 	Status      lp.Status
 	AbsDeltaSum float64 // LP objective (nominal-ps units of change)
 	ArcsChanged int
@@ -152,6 +160,11 @@ func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design
 	lg := legalize.New(d.Die, tm.Tech.SiteW, tm.Tech.RowH)
 	reb := eco.NewRebuilder(tm.Tech, ch, lg)
 
+	var gsp *obs.Span
+	if cfg.Obs != nil {
+		gsp = cfg.Obs.StartSpan("global.opt",
+			obs.I("pairs", len(pairs)), obs.I("u_fracs", len(cfg.USweep)))
+	}
 	const minPairsPerLP = 16
 	budget := cfg.MaxPairsPerLP
 	sawFailure := false
@@ -159,7 +172,7 @@ func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design
 	for {
 		acfg := cfg
 		acfg.MaxPairsPerLP = budget
-		res, err := globalSweep(ctx, tm, reb, d, alphas, pairs, envs, acfg)
+		res, err := globalSweep(ctx, tm, reb, d, alphas, pairs, envs, acfg, gsp)
 		res.PairBudget = budget
 		if best == nil || res.SumVar < best.SumVar {
 			best = res
@@ -167,9 +180,11 @@ func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design
 		sawFailure = sawFailure || res.LPFailures > 0
 		best.Degraded = sawFailure
 		if err != nil {
+			gsp.End()
 			return best, err
 		}
 		if res.LPFailures == 0 || budget <= minPairsPerLP {
+			gsp.End()
 			return best, nil
 		}
 		cfg.Rec.Record("lp-budget-halved")
@@ -177,12 +192,44 @@ func GlobalOpt(ctx context.Context, tm *sta.Timer, ch *lut.Char, d *ctree.Design
 		if budget < minPairsPerLP {
 			budget = minPairsPerLP
 		}
+		if gsp != nil {
+			gsp.Event("global.budget_halved", obs.I("pairs_per_lp", budget))
+		}
+	}
+}
+
+// emitLPStat turns one block-LP stat into an lp.solve trace event (on sp)
+// and the lp.* counters. The stream is deterministic: the simplex is serial
+// and its inputs are bit-identical at any worker count.
+func emitLPStat(obsr *obs.Recorder, sp *obs.Span, stat LPStat) {
+	if obsr == nil {
+		return
+	}
+	obsr.Counter("lp.solves").Inc()
+	obsr.Counter("lp.iterations").Add(int64(stat.Iters))
+	if sp != nil {
+		reverted := "no"
+		if stat.Reverted {
+			reverted = "yes"
+		}
+		sp.Event("lp.solve",
+			obs.I("block", stat.Block),
+			obs.F("u_frac", stat.UFrac),
+			obs.I("rows", stat.Rows),
+			obs.I("cols", stat.Cols),
+			obs.I("iters", stat.Iters),
+			obs.I("refactors", stat.Refactors),
+			obs.S("status", stat.Status.String()),
+			obs.F("objective_ps", stat.AbsDeltaSum),
+			obs.I("arcs_changed", stat.ArcsChanged),
+			obs.S("reverted", reverted))
 	}
 }
 
 // globalSweep runs one full U-sweep at a fixed pair budget, absorbing block
-// failures (skipping the block) and counting them in LPFailures.
-func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctree.Design, alphas []float64, pairs []ctree.SinkPair, envs map[[2]int]*lut.Envelope, cfg GlobalConfig) (*GlobalResult, error) {
+// failures (skipping the block) and counting them in LPFailures. Spans and
+// events land under gsp (nil = untraced).
+func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctree.Design, alphas []float64, pairs []ctree.SinkPair, envs map[[2]int]*lut.Envelope, cfg GlobalConfig, gsp *obs.Span) (*GlobalResult, error) {
 	a0 := tm.Analyze(d.Tree)
 	res := &GlobalResult{SumVar0: sta.SumVariation(a0, alphas, pairs)}
 	skew0 := make([]float64, a0.K)
@@ -200,6 +247,11 @@ func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctre
 		res.BestU = bestU
 	}
 	for _, frac := range cfg.USweep {
+		var usp *obs.Span
+		if gsp != nil {
+			usp = gsp.StartChild("global.sweep",
+				obs.F("u_frac", frac), obs.I("blocks", len(blocks)))
+		}
 		tree := d.Tree.Clone()
 		rebuilt := 0
 		var selErrSum float64
@@ -208,6 +260,7 @@ func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctre
 		treeOK := true
 		for bi, blk := range blocks {
 			if cerr := resilience.Canceled(ctx); cerr != nil {
+				usp.End()
 				finalize()
 				return res, cerr
 			}
@@ -224,12 +277,15 @@ func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctre
 				tree = pre
 				cfg.Rec.Record("panic")
 				res.LPFailures++
+				cfg.Obs.Counter("lp.failures").Inc()
 				stat = LPStat{Block: bi, UFrac: frac, Reverted: true}
 				res.LPStats = append(res.LPStats, stat)
+				emitLPStat(cfg.Obs, usp, stat)
 				continue
 			}
 			if lpErr != nil {
 				res.LPFailures++
+				cfg.Obs.Counter("lp.failures").Inc()
 			}
 			stat.Block = bi
 			stat.UFrac = frac
@@ -261,15 +317,18 @@ func globalSweep(ctx context.Context, tm *sta.Timer, reb *eco.Rebuilder, d *ctre
 				}
 			}
 			res.LPStats = append(res.LPStats, stat)
+			emitLPStat(cfg.Obs, usp, stat)
 			rebuilt += n
 			selErrSum += es
 			selErrN += en
 		}
+		usp.End()
 		if err := tree.Validate(); err != nil {
 			// A corrupted sweep never becomes the incumbent; drop it and keep
 			// sweeping instead of aborting the whole stage.
 			cfg.Rec.Record("tree-corrupt")
 			res.LPFailures++
+			cfg.Obs.Counter("lp.failures").Inc()
 			treeOK = false
 		}
 		if !treeOK {
@@ -721,6 +780,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 				if sol != nil {
 					stat.Status = sol.Status
 					stat.Iters = sol.Iterations
+					stat.Refactors = sol.Refactors
 				}
 				stat.Rows = prob.NumRows()
 				stat.Cols = prob.NumVars()
@@ -778,6 +838,7 @@ func optimizeBlock(tm *sta.Timer, reb *eco.Rebuilder, tree *ctree.Tree, blk, all
 		}
 		stat.Status = sol.Status
 		stat.Iters = sol.Iterations
+		stat.Refactors = sol.Refactors
 		stat.Rows = prob.NumRows()
 		stat.Cols = prob.NumVars()
 		stat.AbsDeltaSum = sol.Obj

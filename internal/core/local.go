@@ -15,6 +15,7 @@ import (
 	"skewvar/internal/faults"
 	"skewvar/internal/geom"
 	"skewvar/internal/legalize"
+	"skewvar/internal/obs"
 	"skewvar/internal/resilience"
 	"skewvar/internal/sta"
 )
@@ -56,6 +57,11 @@ type LocalConfig struct {
 	// counts absorbed faults (nil = not recorded). Normally set by RunFlows.
 	Faults *faults.Injector
 	Rec    *resilience.Recorder
+
+	// Obs, when non-nil, receives the local.opt/local.iter span tree,
+	// local.accept events, and the move trial counters (docs/OBSERVABILITY.md).
+	// Normally set by RunFlows. Nil keeps instrumentation free.
+	Obs *obs.Recorder
 }
 
 func (c *LocalConfig) setDefaults() {
@@ -144,11 +150,23 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 		pairsBySink[p.B] = append(pairsBySink[p.B], i)
 	}
 
+	// The span tree (and every counter below) is schedule-independent: the
+	// set of iterations, enumerated moves, and accepted moves is identical
+	// at any Workers setting, so canonical traces compare across -j.
+	var sp *obs.Span
+	if cfg.Obs != nil {
+		sp = cfg.Obs.StartSpan("local.opt",
+			obs.I("start_iter", cfg.StartIter), obs.I("pairs", len(pairs)))
+	}
 	var runErr error
 	for iter := cfg.StartIter; iter < cfg.MaxIters; iter++ {
 		if err := resilience.Canceled(ctx); err != nil {
 			runErr = err
 			break
+		}
+		var isp *obs.Span
+		if sp != nil {
+			isp = sp.StartChild("local.iter", obs.I("iter", iter))
 		}
 		a := tm.Analyze(cur)
 		// The rng is derived from (seed, iter), not threaded across
@@ -156,15 +174,19 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 		// uninterrupted run would have seen from the same iteration.
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(iter)*1000003))
 		moves := enumerateCandidates(tm, cur, d, a, alphas, pairs, cfg, rng)
+		cfg.Obs.Counter("local.moves.enumerated").Add(int64(len(moves)))
 		if len(moves) == 0 {
+			isp.End()
 			break
 		}
 		scored := predictGains(ctx, tm, cur, a, alphas, pairs, pairsBySink, moves, cfg, lg)
 		res.MovesPred += len(moves)
+		cfg.Obs.Counter("local.moves.predicted").Add(int64(len(moves)))
 		// A cancellation that landed mid-predict leaves unevaluated slots;
 		// don't interpret them as converged — stop here with best-so-far.
 		if err := resilience.Canceled(ctx); err != nil {
 			runErr = err
+			isp.End()
 			break
 		}
 		if cfg.Random {
@@ -174,6 +196,7 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 			// Termination per Algorithm 2: stop when the predictor sees no
 			// further reduction.
 			if scored[0].gain < cfg.MinPredGain {
+				isp.End()
 				break
 			}
 		}
@@ -260,6 +283,7 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 				}
 			})
 			res.MovesTried += len(cands)
+			cfg.Obs.Counter("local.moves.tried").Add(int64(len(cands)))
 			// Deterministic reducer: the winner is the minimum of (ΣV, move
 			// index) over improving trials — independent of scheduling.
 			best := -1
@@ -281,6 +305,17 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 					SumVar:    curVar,
 				})
 				accepted = true
+				cfg.Obs.Counter("local.moves.accepted").Inc()
+				cfg.Obs.Counter("local.moves.rejected").Add(int64(len(cands) - 1))
+				if isp != nil {
+					isp.Event("local.accept",
+						obs.S("move", cands[best].move.String()),
+						obs.F("predicted_ps", cands[best].gain),
+						obs.F("actual_ps", gain),
+						obs.F("sumvar_ps", curVar))
+				}
+			} else {
+				cfg.Obs.Counter("local.moves.rejected").Add(int64(len(cands)))
 			}
 		}
 		if cfg.OnIter != nil {
@@ -290,12 +325,16 @@ func LocalOpt(ctx context.Context, tm *sta.Timer, d *ctree.Design, alphas []floa
 		// report the interruption rather than mistaking it for convergence.
 		if err := resilience.Canceled(ctx); err != nil {
 			runErr = err
+			isp.End()
 			break
 		}
 		if !accepted {
+			isp.End()
 			break
 		}
+		isp.End()
 	}
+	sp.End()
 	res.Tree = cur
 	res.SumVar = curVar
 	return res, runErr

@@ -1,0 +1,51 @@
+// Package atomicio holds the torn-write-proof file primitive shared by the
+// checkpoint layer (via edaio.AtomicWriteFile) and the observability sinks
+// (internal/obs), which cannot import edaio itself: edaio depends on sta
+// for its exports, and sta carries the obs recorder.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes a file so that readers never observe a partial result:
+// the payload is written to a temporary file in the destination directory,
+// fsynced, and renamed over the target. On any failure the temporary file
+// is removed and the previous contents of path (if any) are left
+// untouched. This is the write primitive behind flow checkpoints, where a
+// torn write would make a resume worse than no checkpoint at all.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("edaio: creating temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	// CreateTemp opens 0600, which would survive the rename; the result is a
+	// regular output file, so give it regular file permissions.
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("edaio: chmod %s: %w", tmpName, err)
+	}
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("edaio: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("edaio: syncing %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("edaio: closing %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("edaio: renaming %s -> %s: %w", tmpName, path, err)
+	}
+	return nil
+}

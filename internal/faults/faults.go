@@ -61,9 +61,24 @@ type hookState struct {
 // Injector decides, per hook call, whether to inject a fault. Safe for
 // concurrent use; a nil Injector never fires.
 type Injector struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	hooks map[string]*hookState
+	mu       sync.Mutex
+	rng      *rand.Rand
+	hooks    map[string]*hookState
+	observer func(hook string, call int)
+}
+
+// SetObserver installs (or, with nil, removes) a callback invoked after
+// every firing decision that injects a fault, with the hook name and its
+// 1-based call index. The flow runner uses it to turn injections into trace
+// events. The callback runs outside the injector's lock and must be safe
+// for concurrent use. Nil-safe.
+func (in *Injector) SetObserver(fn func(hook string, call int)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
 }
 
 // New returns an injector with no armed hooks, seeding the probabilistic
@@ -96,13 +111,14 @@ func (in *Injector) Fire(hook string) bool {
 		return false
 	}
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	st := in.hooks[hook]
 	if st == nil {
+		in.mu.Unlock()
 		return false
 	}
 	st.calls++
 	if st.spec.Max > 0 && st.fired >= st.spec.Max {
+		in.mu.Unlock()
 		return false
 	}
 	fire := false
@@ -118,6 +134,14 @@ func (in *Injector) Fire(hook string) bool {
 	}
 	if fire {
 		st.fired++
+	}
+	call := st.calls
+	obs := in.observer
+	in.mu.Unlock()
+	// The observer runs outside the lock so it may call back into the
+	// injector (e.g. String for a log line) without deadlocking.
+	if fire && obs != nil {
+		obs(hook, call)
 	}
 	return fire
 }

@@ -161,6 +161,7 @@ type Solution struct {
 	Obj        float64
 	X          []float64 // structural variable values
 	Iterations int
+	Refactors  int // basis refactorizations performed (numerical-health signal)
 }
 
 // Options tunes the solver. Zero values select defaults.
@@ -199,6 +200,7 @@ type solver struct {
 	feasTol, optTol float64
 	iters, maxIters int
 	sinceRefactor   int
+	refactors       int
 }
 
 // iterLimitErr builds the typed solver error for iteration-limit exhaustion
@@ -340,11 +342,13 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 		if st == IterLimit {
 			sol.Status = IterLimit
 			sol.Iterations = s.iters
+			sol.Refactors = s.refactors
 			return sol, iterLimitErr(s.iters)
 		}
 		if s.objective() > 1e-6 {
 			sol.Status = Infeasible
 			sol.Iterations = s.iters
+			sol.Refactors = s.refactors
 			return sol, nil
 		}
 		// Pin artificials to zero so phase 2 cannot reuse them.
@@ -361,6 +365,7 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 	copy(s.cost, s.cost2)
 	st := s.iterate()
 	sol.Iterations = s.iters
+	sol.Refactors = s.refactors
 	switch st {
 	case Unbounded:
 		sol.Status = Unbounded
@@ -670,6 +675,7 @@ func (s *solver) updateBinv(leave int, w []float64) {
 // refactor recomputes B⁻¹ from scratch by Gauss-Jordan and recomputes basic
 // values; returns false if the basis is numerically singular.
 func (s *solver) refactor() bool {
+	s.refactors++
 	m := s.m
 	// Assemble B.
 	a := make([][]float64, m)

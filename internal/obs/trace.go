@@ -1,0 +1,252 @@
+// Trace schema and sinks. A trace is a JSONL stream of Records: ended
+// spans (kind "span", with id/parent/start_ns/dur_ns) and instantaneous
+// events (kind "event", with at_ns and the owning span in parent; parent 0
+// means root). WriteTrace/ReadTrace round-trip the stream; ValidateTrace
+// checks structural well-formedness (unique ids, resolving parents,
+// nested intervals); CanonicalTrace/CanonicalOrdered produce the
+// schedule-independent normal forms the golden-trace tests compare.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"skewvar/internal/edaio/atomicio"
+)
+
+// Record kinds.
+const (
+	KindSpan  = "span"
+	KindEvent = "event"
+)
+
+// Record is one line of a JSONL trace.
+type Record struct {
+	Kind   string `json:"kind"`
+	ID     uint64 `json:"id,omitempty"`     // span id (spans only, nonzero)
+	Parent uint64 `json:"parent,omitempty"` // parent span id; 0 = root
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns,omitempty"` // spans only
+	Dur    int64  `json:"dur_ns,omitempty"`   // spans only
+	At     int64  `json:"at_ns,omitempty"`    // events only
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// check validates a single record's field shape.
+func (rec Record) check() error {
+	if rec.Name == "" {
+		return fmt.Errorf("empty name")
+	}
+	switch rec.Kind {
+	case KindSpan:
+		if rec.ID == 0 {
+			return fmt.Errorf("span %q has no id", rec.Name)
+		}
+		if rec.Dur < 0 {
+			return fmt.Errorf("span %q has negative duration %d", rec.Name, rec.Dur)
+		}
+		if rec.At != 0 {
+			return fmt.Errorf("span %q carries an event timestamp", rec.Name)
+		}
+	case KindEvent:
+		if rec.ID != 0 {
+			return fmt.Errorf("event %q carries a span id", rec.Name)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", rec.Kind)
+	}
+	for _, a := range rec.Attrs {
+		if a.Kind != "n" && a.Kind != "s" {
+			return fmt.Errorf("%s %q: attr %q has unknown type %q", rec.Kind, rec.Name, a.Key, a.Kind)
+		}
+	}
+	return nil
+}
+
+// WriteTrace atomically writes the recorder's records (ended spans and
+// events, in emission order) as JSONL. Nil-safe (writes an empty file).
+func (r *Recorder) WriteTrace(path string) error {
+	recs := r.Records()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for i := range recs {
+			if err := enc.Encode(recs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ReadTrace parses a JSONL trace stream strictly: unknown fields, blank
+// interior garbage, and shape violations are errors carrying the line
+// number. Blank lines are skipped.
+func ReadTrace(rd io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if err := rec.check(); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return recs, nil
+}
+
+// ValidateTrace checks structural well-formedness: per-record shape,
+// unique span ids, parents that resolve to recorded spans, child span
+// intervals nested inside their parent's, and event timestamps inside the
+// owning span's interval.
+func ValidateTrace(recs []Record) error {
+	spans := make(map[uint64]Record, len(recs))
+	for i, rec := range recs {
+		if err := rec.check(); err != nil {
+			return fmt.Errorf("obs: record %d: %v", i, err)
+		}
+		if rec.Kind == KindSpan {
+			if _, dup := spans[rec.ID]; dup {
+				return fmt.Errorf("obs: duplicate span id %d (%q)", rec.ID, rec.Name)
+			}
+			spans[rec.ID] = rec
+		}
+	}
+	for i, rec := range recs {
+		if rec.Parent == 0 {
+			continue
+		}
+		p, ok := spans[rec.Parent]
+		if !ok {
+			return fmt.Errorf("obs: record %d (%s %q): parent span %d not in trace", i, rec.Kind, rec.Name, rec.Parent)
+		}
+		switch rec.Kind {
+		case KindSpan:
+			if rec.Start < p.Start || rec.Start+rec.Dur > p.Start+p.Dur {
+				return fmt.Errorf("obs: span %q [%d,%d] not nested in parent %q [%d,%d]",
+					rec.Name, rec.Start, rec.Start+rec.Dur, p.Name, p.Start, p.Start+p.Dur)
+			}
+		case KindEvent:
+			if rec.At < p.Start || rec.At > p.Start+p.Dur {
+				return fmt.Errorf("obs: event %q at %d outside parent %q [%d,%d]",
+					rec.Name, rec.At, p.Name, p.Start, p.Start+p.Dur)
+			}
+		}
+	}
+	return nil
+}
+
+// canonRecord is the schedule-independent projection of a Record: kind,
+// the slash-joined ancestor name path, and attributes — ids and all
+// timestamps stripped.
+type canonRecord struct {
+	Kind  string `json:"kind"`
+	Path  string `json:"path"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// maxCanonDepth caps path materialization so a cyclic parent chain in a
+// hand-built record set cannot hang canonicalization.
+const maxCanonDepth = 64
+
+func canonLines(recs []Record) [][]byte {
+	names := make(map[uint64]string, len(recs))
+	parents := make(map[uint64]uint64, len(recs))
+	for _, rec := range recs {
+		if rec.Kind == KindSpan {
+			names[rec.ID] = rec.Name
+			parents[rec.ID] = rec.Parent
+		}
+	}
+	paths := make(map[uint64]string, len(recs))
+	var pathOf func(id uint64, depth int) string
+	pathOf = func(id uint64, depth int) string {
+		if id == 0 {
+			return ""
+		}
+		if p, ok := paths[id]; ok {
+			return p
+		}
+		name, ok := names[id]
+		if !ok || depth > maxCanonDepth {
+			name = "?"
+		}
+		p := name
+		if !ok || depth > maxCanonDepth {
+			paths[id] = p
+			return p
+		}
+		if pre := pathOf(parents[id], depth+1); pre != "" {
+			p = pre + "/" + name
+		}
+		paths[id] = p
+		return p
+	}
+	lines := make([][]byte, 0, len(recs))
+	for _, rec := range recs {
+		path := rec.Name
+		if pre := pathOf(rec.Parent, 0); pre != "" {
+			path = pre + "/" + rec.Name
+		}
+		b, err := json.Marshal(canonRecord{Kind: rec.Kind, Path: path, Attrs: rec.Attrs})
+		if err != nil {
+			// Record fields are plain data; Marshal cannot fail on them.
+			panic(err)
+		}
+		lines = append(lines, b)
+	}
+	return lines
+}
+
+// CanonicalTrace renders records in their schedule-independent normal
+// form: each record becomes a JSON line of kind + ancestor-name path +
+// attrs (ids and timestamps stripped), and the lines are sorted
+// lexicographically. Two runs of the same flow at different worker counts
+// produce byte-identical canonical traces.
+func CanonicalTrace(recs []Record) []byte {
+	lines := canonLines(recs)
+	sort.Slice(lines, func(i, j int) bool { return bytes.Compare(lines[i], lines[j]) < 0 })
+	return bytes.Join(append(lines, nil), []byte("\n"))
+}
+
+// CanonicalOrdered is CanonicalTrace without the sort: records keep their
+// emission order. Use it for serial event streams (e.g. accepted local
+// moves) where order itself is part of the invariant, such as asserting
+// an interrupted+resumed pair of runs concatenates to the full run.
+func CanonicalOrdered(recs []Record) []byte {
+	return bytes.Join(append(canonLines(recs), nil), []byte("\n"))
+}
+
+// FilterNames returns the records whose Name is one of names, preserving
+// order.
+func FilterNames(recs []Record, names ...string) []Record {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Record
+	for _, rec := range recs {
+		if want[rec.Name] {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

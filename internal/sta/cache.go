@@ -139,16 +139,47 @@ func (tm *Timer) evalNet(c *netCache, tr *ctree.Tree, d ctree.NodeID, k int) *ne
 	ev := c.m[key]
 	c.mu.RUnlock()
 	if ev != nil && ev.hash == h {
+		tm.cacheHits.Add(1)
 		return ev
 	}
+	tm.cacheMisses.Add(1)
 	ev = tm.buildNetEval(tr, d, k, h)
 	c.mu.Lock()
 	if len(c.m) >= maxCachedNets {
 		c.m = make(map[netKey]*netEval)
+		tm.cacheEvicts.Add(1)
 	}
 	c.m[key] = ev
 	c.mu.Unlock()
 	return ev
+}
+
+// CacheStats is a point-in-time reading of the net cache's traffic counters
+// since the timer was built (they survive cache resets and flushes).
+type CacheStats struct {
+	Hits      int64 // lookups served from a hash-valid entry
+	Misses    int64 // lookups that rebuilt the net view
+	Evictions int64 // whole-map drops on overflow (maxCachedNets)
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no traffic.
+func (s CacheStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// CacheStats reads the net-cache traffic counters. Counts are exact but
+// schedule-dependent under concurrent move trials (workers race to replace
+// shared dirty entries), so they belong in metrics snapshots, not in traces
+// compared across worker counts.
+func (tm *Timer) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:      tm.cacheHits.Load(),
+		Misses:    tm.cacheMisses.Load(),
+		Evictions: tm.cacheEvicts.Load(),
+	}
 }
 
 // buildNetEval builds the per-corner RC tree of the net driven by node d —

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"skewvar/internal/ctree"
+	"skewvar/internal/obs"
 )
 
 // slewConvergedEps is the input-slew change (ps) below which a downstream
@@ -54,7 +55,17 @@ func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctre
 	drivers := tm.drivingNodes(tr)
 	sinks := tr.Sinks()
 	cache := tm.netcache()
+	var sp *obs.Span
+	if tm.Obs != nil {
+		sp = tm.Obs.StartSpan("sta.analyze_inc", obs.I("corners", K), obs.I("dirty", len(dirty)))
+		tm.Obs.Counter("sta.analyses_incremental").Inc()
+	}
 	tm.forEachCorner(K, func(k int) {
+		var csp *obs.Span
+		if sp != nil {
+			csp = sp.StartChild("sta.corner", obs.I("corner", k))
+		}
+		defer csp.End()
 		arr := make([]float64, n)
 		slw := make([]float64, n)
 		var bArr, bSlw []float64
@@ -125,6 +136,7 @@ func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctre
 			}
 		}
 	})
+	sp.End()
 	return a
 }
 

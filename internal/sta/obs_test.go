@@ -1,0 +1,66 @@
+package sta
+
+import (
+	"testing"
+
+	"skewvar/internal/obs"
+	"skewvar/internal/tech"
+)
+
+func TestCacheStatsAccounting(t *testing.T) {
+	th := tech.Default28nm()
+	tm := New(th)
+	tr, _ := balancedTree()
+
+	if s := tm.CacheStats(); s != (CacheStats{}) {
+		t.Fatalf("fresh timer has cache traffic: %+v", s)
+	}
+	if r := tm.CacheStats().HitRate(); r != 0 {
+		t.Fatalf("hit rate with no traffic = %v, want 0", r)
+	}
+
+	tm.Analyze(tr)
+	cold := tm.CacheStats()
+	if cold.Misses == 0 {
+		t.Fatal("cold analysis produced no cache misses")
+	}
+
+	tm.Analyze(tr)
+	warm := tm.CacheStats()
+	if warm.Hits <= cold.Hits {
+		t.Errorf("warm re-analysis added no cache hits: %+v -> %+v", cold, warm)
+	}
+	if warm.Misses != cold.Misses {
+		t.Errorf("warm re-analysis missed: %+v -> %+v", cold, warm)
+	}
+	if r := warm.HitRate(); r <= 0 || r > 1 {
+		t.Errorf("hit rate = %v, want in (0, 1]", r)
+	}
+}
+
+// TestAnalyzeSpans: an instrumented timer emits one sta.analyze span with a
+// sta.corner child per corner; a nil recorder emits nothing and is safe.
+func TestAnalyzeSpans(t *testing.T) {
+	th := tech.Default28nm()
+	tm := New(th)
+	tr, _ := balancedTree()
+	tm.Analyze(tr) // Obs nil: must not panic, must record nothing
+
+	rec := obs.NewWithClock(obs.NewFakeClock(1))
+	tm.Obs = rec
+	a := tm.Analyze(tr)
+
+	recs := rec.Records()
+	if err := obs.ValidateTrace(recs); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if n := len(obs.FilterNames(recs, "sta.analyze")); n != 1 {
+		t.Errorf("sta.analyze spans = %d, want 1", n)
+	}
+	if n := len(obs.FilterNames(recs, "sta.corner")); n != a.K {
+		t.Errorf("sta.corner spans = %d, want %d (one per corner)", n, a.K)
+	}
+	if got := rec.Snapshot().Counters["sta.analyses"]; got != 1 {
+		t.Errorf("sta.analyses counter = %d, want 1", got)
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"skewvar/internal/ctree"
+	"skewvar/internal/obs"
 	"skewvar/internal/rctree"
 	"skewvar/internal/route"
 	"skewvar/internal/tech"
@@ -54,6 +56,20 @@ type Timer struct {
 	// goroutines. 0 or 1 selects the exact serial path. Results are
 	// bit-identical at any setting — corners never share state.
 	Workers int
+
+	// Obs, when non-nil, receives analysis spans (sta.analyze /
+	// sta.analyze_inc with per-corner children) and analysis counters.
+	// Leave nil to make instrumentation free: the hot paths branch on
+	// the field before building any attributes.
+	Obs *obs.Recorder
+
+	// Net-cache traffic counters (see cache.go). They live on the Timer,
+	// not the cache, because the cache object is dropped on technology
+	// change, overflow, and FlushNetCache. Schedule-dependent under
+	// concurrent trials — report them in metrics, never in traces.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheEvicts atomic.Int64
 
 	cacheMu   sync.Mutex
 	cache     *netCache
@@ -163,7 +179,16 @@ func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
 	drivers := tm.drivingNodes(tr)
 	sinks := tr.Sinks()
 	cache := tm.netcache()
+	var sp *obs.Span
+	if tm.Obs != nil {
+		sp = tm.Obs.StartSpan("sta.analyze", obs.I("corners", K), obs.I("drivers", len(drivers)))
+		tm.Obs.Counter("sta.analyses").Inc()
+	}
 	tm.forEachCorner(K, func(c int) {
+		var csp *obs.Span
+		if sp != nil {
+			csp = sp.StartChild("sta.corner", obs.I("corner", c))
+		}
 		arr := make([]float64, n)
 		slw := make([]float64, n)
 		for i := range arr {
@@ -181,7 +206,9 @@ func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
 				a.MaxLat[c] = v
 			}
 		}
+		csp.End()
 	})
+	sp.End()
 	return a
 }
 
