@@ -2,13 +2,13 @@
 # lint (go vet + skewlint) + build + the full test suite, then the suite
 # again under the race detector in -short mode (which still runs a real
 # optimization flow via the core stage-subset test, just not the
-# multi-minute matrices).
+# multi-minute matrices), then the skewd crash/fault/drain end-to-end.
 
 GO ?= go
 
-.PHONY: tier1 vet lint lint-fix-report cover build test race bench fuzz help
+.PHONY: tier1 vet lint lint-fix-report cover build test race serve-e2e bench fuzz help
 
-tier1: lint cover build test race
+tier1: lint cover build test race serve-e2e
 
 vet:
 	$(GO) vet ./...
@@ -50,7 +50,14 @@ test:
 # invariant most worth catching a data race in.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/ ./internal/obs/
+	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/ ./internal/obs/ ./internal/faults/
+
+# skewd end-to-end: submit, kill -9 mid-job, restart, verify the resumed
+# output is byte-identical to an uninterrupted run; plus the fault matrix
+# (dead journal -> 500, worker panic -> isolated failure, wedged job ->
+# deadline cancel) and the SIGTERM backpressure/drain/resume cycle.
+serve-e2e:
+	$(GO) test -run 'TestSkewd' -count=1 -v ./internal/clitest/
 
 # Parallel STA / concurrent-trial benchmarks, recorded as benchstat-style
 # records in BENCH_pr4.json (cmd/benchjson converts the bench text, derives
@@ -73,5 +80,6 @@ help:
 	@echo "build            go build ./..."
 	@echo "test             go test ./..."
 	@echo "race             -short suite under -race, then 3x the Parallel equivalence tests"
+	@echo "serve-e2e        skewd crash/fault/drain end-to-end (kill -9 resume, fault matrix)"
 	@echo "bench            parallel STA benchmarks + OBSMETRIC gauges -> BENCH_pr4.json"
 	@echo "fuzz             30s fuzz of the design reader"

@@ -122,10 +122,16 @@ func main() {
 	if *resume {
 		cp, err = core.LoadCheckpoint(*checkpoint)
 		if err != nil {
-			fatalf("resume: %v", err)
+			// A truncated or bit-flipped checkpoint must not strand the
+			// run: warn and start fresh — the flow is deterministic, so a
+			// fresh run reaches the same result, just without the head
+			// start.
+			fmt.Fprintf(os.Stderr, "skewopt: resume: checkpoint unusable (%v); starting fresh\n", err)
+			cp = nil
+		} else {
+			fmt.Fprintf(os.Stderr, "skewopt: resuming from %s (done: %v, stage %q at iter %d)\n",
+				*checkpoint, cp.Done, cp.Stage, cp.Iter)
 		}
-		fmt.Fprintf(os.Stderr, "skewopt: resuming from %s (done: %v, stage %q at iter %d)\n",
-			*checkpoint, cp.Done, cp.Stage, cp.Iter)
 	}
 
 	if *jobs < 1 {

@@ -6,13 +6,16 @@ import (
 	"strings"
 )
 
-// DefaultPools are the sanctioned goroutine launch sites: the two bounded,
+// DefaultPools are the sanctioned goroutine launch sites: the bounded,
 // deterministically reduced worker pools every concurrent path in the
-// repository funnels through. Keyed by import path; values are function
+// repository funnels through, plus skewd's two process-lifetime launch
+// points (the job worker pool and the HTTP accept loop — both bounded,
+// both drained by serve.Drain). Keyed by import path; values are function
 // names within that package whose bodies may contain go statements.
 var DefaultPools = map[string][]string{
-	"skewvar/internal/core": {"runIndexed"},
-	"skewvar/internal/sta":  {"forEachCorner"},
+	"skewvar/internal/core":  {"runIndexed"},
+	"skewvar/internal/sta":   {"forEachCorner"},
+	"skewvar/internal/serve": {"startWorkers", "startAccept"},
 }
 
 // Poolbound flags every go statement outside the sanctioned worker pools.

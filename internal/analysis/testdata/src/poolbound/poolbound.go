@@ -35,3 +35,20 @@ func AdHocGoroutine(done chan struct{}) {
 func fireAndForget(f func()) {
 	go f() // want "go statement outside the sanctioned worker pools"
 }
+
+// startAccept is the second sanctioned launch site (an accept-loop shape,
+// like serve.startAccept): a multi-entry allowlist admits every listed
+// function, not just the first.
+func startAccept(serve func() error) <-chan error {
+	ch := make(chan error, 1)
+	go func() {
+		ch <- serve()
+	}()
+	return ch
+}
+
+// Drain must stay on its caller's goroutine: even shutdown helpers next
+// to a sanctioned site get no exemption.
+func Drain(stop func()) {
+	go stop() // want "go statement outside the sanctioned worker pools"
+}

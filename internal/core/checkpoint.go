@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -85,9 +86,27 @@ func SaveCheckpoint(ctx context.Context, path string, d *ctree.Design, cp *Check
 
 // LoadCheckpoint reads and validates a checkpoint written by SaveCheckpoint.
 // Every embedded tree passes full edaio design validation; a corrupt or
-// torn checkpoint yields a wrapped ErrCheckpoint instead of a flow that
-// resumes from garbage.
-func LoadCheckpoint(path string) (*Checkpoint, error) {
+// torn checkpoint — including one whose decode panics — yields a wrapped
+// ErrCheckpoint instead of a flow that resumes from garbage, so callers
+// can fall back to a fresh run (skewopt and skewd both do).
+func LoadCheckpoint(path string) (cp *Checkpoint, err error) {
+	// Decoding runs under Safely: a bit-flipped checkpoint must surface as
+	// a typed load error, never as a panic out of the decode path.
+	serr := resilience.Safely("checkpoint load", func() error {
+		var lerr error
+		cp, lerr = loadCheckpoint(path)
+		return lerr
+	})
+	if serr != nil {
+		if errors.Is(serr, resilience.ErrCheckpoint) {
+			return nil, serr
+		}
+		return nil, fmt.Errorf("core: decoding checkpoint %s: %v: %w", path, serr, resilience.ErrCheckpoint)
+	}
+	return cp, nil
+}
+
+func loadCheckpoint(path string) (*Checkpoint, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading checkpoint: %v: %w", err, resilience.ErrCheckpoint)

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/resilience"
+)
+
+// writeTestCheckpoint saves a real checkpoint for a small design and
+// returns its path and bytes.
+func writeTestCheckpoint(t *testing.T) (string, []byte, *ctree.Design) {
+	t.Helper()
+	d, _ := smallDesign(t, 60)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp := &Checkpoint{
+		Stage: "local",
+		Iter:  2,
+		Done:  []string{"global"},
+		Trees: map[string]*ctree.Tree{"global": d.Tree, "partial": d.Tree},
+	}
+	if err := SaveCheckpoint(context.Background(), path, d, cp, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, b, d
+}
+
+// TestLoadCheckpointCorruption is the regression test for checkpoint
+// corruption handling: a truncated or bit-flipped checkpoint file must
+// surface as a wrapped resilience.ErrCheckpoint (so callers fall back to a
+// fresh run) and must never escape as a decode panic.
+func TestLoadCheckpointCorruption(t *testing.T) {
+	path, good, _ := writeTestCheckpoint(t)
+
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("pristine checkpoint failed to load: %v", err)
+	}
+
+	// Truncations: torn writes of every prefix length class.
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 0.999} {
+		n := int(float64(len(good)) * frac)
+		if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := LoadCheckpoint(path)
+		if err == nil {
+			t.Errorf("truncation to %d/%d bytes loaded successfully: %+v", n, len(good), cp)
+			continue
+		}
+		if !errors.Is(err, resilience.ErrCheckpoint) {
+			t.Errorf("truncation to %d bytes: error not typed ErrCheckpoint: %v", n, err)
+		}
+	}
+
+	// Bit flips in place, spread across the file. A flip may land in
+	// whitespace or a digit and still yield a decodable, fully validated
+	// checkpoint — that is fine; what is not fine is a panic or an
+	// untyped error.
+	const flips = 64
+	for i := 0; i < flips; i++ {
+		off := (len(good) - 1) * i / flips
+		corrupt := append([]byte(nil), good...)
+		corrupt[off] ^= 0x40
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := LoadCheckpoint(path)
+		if err == nil {
+			if cp == nil {
+				t.Errorf("flip at %d: nil checkpoint with nil error", off)
+			}
+			continue
+		}
+		if !errors.Is(err, resilience.ErrCheckpoint) {
+			t.Errorf("flip at %d: error not typed ErrCheckpoint: %v", off, err)
+		}
+	}
+
+	// Wholesale garbage (not JSON at all).
+	if err := os.WriteFile(path, []byte("\x00\xff\x00\xff not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, resilience.ErrCheckpoint) {
+		t.Errorf("garbage file: error not typed ErrCheckpoint: %v", err)
+	}
+
+	// Missing file.
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt")); !errors.Is(err, resilience.ErrCheckpoint) {
+		t.Errorf("missing file: error not typed ErrCheckpoint: %v", err)
+	}
+}
+
+// TestLoadCheckpointPanicBecomesErrCheckpoint pins the Safely wrapping: a
+// panic anywhere under the decode path is converted to a typed checkpoint
+// error, not propagated.
+func TestLoadCheckpointPanicBecomesErrCheckpoint(t *testing.T) {
+	// A version-valid document whose tree payload is the wrong JSON shape
+	// exercises the deepest decode layers; whatever they do — error or
+	// panic — the caller must see ErrCheckpoint.
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	doc := `{"version":1,"stage":"local","iter":1,"trees":{"partial":{"name":[true],"tree":42}}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, resilience.ErrCheckpoint) {
+		t.Errorf("malformed tree payload: error not typed ErrCheckpoint: %v", err)
+	}
+}

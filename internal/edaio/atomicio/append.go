@@ -1,0 +1,131 @@
+package atomicio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// Appender is the crash-safe append-only line writer behind the skewd job
+// journal. Every AppendLine is written as one write call and fsynced
+// before returning, so a line that AppendLine reported as durable survives
+// a kill -9; a crash mid-write can tear at most the final line, which
+// readers must tolerate (the journal replayer stops at the first
+// undecodable line).
+//
+// A failed or short write leaves the file in an unknown state, so Appender
+// tracks the last known-good offset and truncates back to it before the
+// next attempt — a retried append never leaves half a line in front of a
+// whole one.
+//
+// Appender is not safe for concurrent use; callers serialize (the journal
+// holds one lock across its append-with-retry loop).
+type Appender struct {
+	f   *os.File
+	off int64 // end of the last fully written line
+}
+
+// OpenAppender opens (or creates) path for appending. A torn final line
+// from a previous crash (the file not ending in '\n') is truncated away,
+// so the first append lands directly after the last complete line and
+// never concatenates onto torn bytes. Callers replaying the journal read
+// it before opening the appender.
+func OpenAppender(path string) (*Appender, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("edaio: opening journal %s: %w", path, err)
+	}
+	off, err := healTornTail(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("edaio: healing journal %s: %w", path, err)
+	}
+	return &Appender{f: f, off: off}, nil
+}
+
+// healTornTail truncates an unterminated final line and returns the end
+// offset of the newline-terminated prefix.
+func healTornTail(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return 0, err
+	}
+	if last[0] == '\n' {
+		return size, nil
+	}
+	// Scan backwards in chunks for the last newline.
+	const chunk = 4096
+	end := size
+	for end > 0 {
+		n := int64(chunk)
+		if n > end {
+			n = end
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, end-n); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			good := end - n + int64(i) + 1
+			if err := f.Truncate(good); err != nil {
+				return 0, err
+			}
+			return good, nil
+		}
+		end -= n
+	}
+	// No newline anywhere: the whole file is one torn line.
+	if err := f.Truncate(0); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// AppendLine durably appends one line (a trailing newline is added; line
+// itself must not contain one). On any failure the file is truncated back
+// to the last known-good offset, so the append either happened completely
+// or not at all from the next reader's point of view.
+func (a *Appender) AppendLine(line []byte) error {
+	if bytes.IndexByte(line, '\n') >= 0 {
+		return fmt.Errorf("edaio: journal line contains a newline")
+	}
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	n, err := a.f.WriteAt(buf, a.off)
+	if err == nil {
+		err = a.f.Sync()
+	}
+	if err != nil {
+		// Roll back whatever partial bytes landed; if even the truncate
+		// fails the stored offset still marks the good prefix and the next
+		// attempt truncates again.
+		a.f.Truncate(a.off)
+		return fmt.Errorf("edaio: appending journal line (%d/%d bytes): %w", n, len(buf), err)
+	}
+	a.off += int64(len(buf))
+	return nil
+}
+
+// Offset returns the end of the last durably appended line.
+func (a *Appender) Offset() int64 { return a.off }
+
+// Close syncs and closes the underlying file.
+func (a *Appender) Close() error {
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		return fmt.Errorf("edaio: syncing journal: %w", err)
+	}
+	if err := a.f.Close(); err != nil {
+		return fmt.Errorf("edaio: closing journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package atomicio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAppenderAppendsAcrossReopens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	a, err := OpenAppender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.AppendLine([]byte(fmt.Sprintf(`{"seq":%d}`, i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := OpenAppender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.AppendLine([]byte(`{"seq":4}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []byte("{\"seq\":1}\n{\"seq\":2}\n{\"seq\":3}\n{\"seq\":4}\n")
+	if got := readAll(t, path); !bytes.Equal(got, want) {
+		t.Errorf("journal = %q, want %q", got, want)
+	}
+}
+
+func TestAppenderHealsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	// Two good lines plus a torn third (no trailing newline), as a crash
+	// mid-append would leave.
+	if err := os.WriteFile(path, []byte("{\"seq\":1}\n{\"seq\":2}\n{\"se"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAppender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendLine([]byte(`{"seq":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("{\"seq\":1}\n{\"seq\":2}\n{\"seq\":3}\n")
+	if got := readAll(t, path); !bytes.Equal(got, want) {
+		t.Errorf("healed journal = %q, want %q", got, want)
+	}
+}
+
+func TestAppenderHealsWhollyTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte("garbage-without-newline"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAppender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() != 0 {
+		t.Errorf("offset after healing a newline-free file = %d, want 0", a.Offset())
+	}
+	if err := a.AppendLine([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if got := readAll(t, path); !bytes.Equal(got, []byte("first\n")) {
+		t.Errorf("journal = %q", got)
+	}
+}
+
+func TestAppenderRejectsEmbeddedNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	a, err := OpenAppender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.AppendLine([]byte("two\nlines")); err == nil {
+		t.Error("embedded newline accepted")
+	}
+	if a.Offset() != 0 {
+		t.Errorf("offset advanced on rejected line: %d", a.Offset())
+	}
+}

@@ -36,10 +36,27 @@ const (
 	// MoveApply fails one local-optimization move trial, exercising the
 	// skip-and-log path.
 	MoveApply = "move-apply"
+
+	// JobJournalWrite fails one append attempt of the skewd job journal
+	// (all retry attempts consult the same armed hook, so First=n controls
+	// how many attempts fail; an always-armed hook exhausts the retries and
+	// the submission is rejected with HTTP 500).
+	JobJournalWrite = "job-journal-write"
+
+	// WorkerPanic panics a skewd worker at the top of a job run, exercising
+	// the per-job resilience.Safely isolation: the job fails with a typed
+	// panic class, the daemon survives.
+	WorkerPanic = "worker-panic"
+
+	// SlowJob parks a skewd job until its context is canceled — a
+	// deterministic stand-in for a wedged optimization. It drives the
+	// per-job deadline, queue-backpressure, and drain-timeout paths without
+	// wall-clock-sensitive sleeps.
+	SlowJob = "slow-job"
 )
 
 // Hooks lists every known hook name.
-var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply}
+var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply, JobJournalWrite, WorkerPanic, SlowJob}
 
 // Spec is one hook's injection plan. Zero-value fields are inactive; a Spec
 // with no active field always fires (used for "always fail" plans). Max, when

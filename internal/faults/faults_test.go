@@ -2,6 +2,8 @@ package faults
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -132,5 +134,86 @@ func TestParse(t *testing.T) {
 	in2, err := Parse("", 1)
 	if err != nil || in2.Fire(LPSolve) {
 		t.Fatalf("empty spec: err=%v", err)
+	}
+}
+
+// TestParallelSetObserver hammers one injector from many goroutines — the
+// shape skewd produces when several jobs fire the service-level hooks
+// concurrently while the daemon installs, swaps, and removes observers.
+// Run under -race by `make race`; the functional assertions are that call
+// accounting stays exact and that a stable observer sees every injection
+// exactly once.
+func TestParallelSetObserver(t *testing.T) {
+	const jobs, firesPerJob = 8, 200
+
+	// Phase 1: stable observer, concurrent firing. Every injection must be
+	// observed exactly once and the per-hook call counter must be exact.
+	in := New(1).Arm(WorkerPanic, Spec{}).Arm(SlowJob, Spec{First: firesPerJob})
+	var observed atomic.Int64
+	in.SetObserver(func(hook string, call int) {
+		if hook != WorkerPanic && hook != SlowJob {
+			t.Errorf("observer saw unknown hook %q", hook)
+		}
+		if call < 1 {
+			t.Errorf("observer saw non-positive call index %d", call)
+		}
+		observed.Add(1)
+	})
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < firesPerJob; i++ {
+				in.Fire(WorkerPanic)
+				in.Fire(SlowJob)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Calls(WorkerPanic); got != jobs*firesPerJob {
+		t.Errorf("worker-panic calls = %d, want %d", got, jobs*firesPerJob)
+	}
+	wantObs := int64(in.Fired(WorkerPanic) + in.Fired(SlowJob))
+	if got := observed.Load(); got != wantObs {
+		t.Errorf("observer saw %d injections, want %d", got, wantObs)
+	}
+
+	// Phase 2: observer churn during injection — installs, replacements,
+	// and removal racing with Fire must be safe (the race detector is the
+	// real assertion here) and must never corrupt call accounting.
+	in2 := New(1).Arm(JobJournalWrite, Spec{})
+	var churn sync.WaitGroup
+	stop := make(chan struct{})
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%3 == 2 {
+				in2.SetObserver(nil)
+			} else {
+				in2.SetObserver(func(string, int) {})
+			}
+		}
+	}()
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < firesPerJob; i++ {
+				in2.Fire(JobJournalWrite)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	if got := in2.Calls(JobJournalWrite); got != jobs*firesPerJob {
+		t.Errorf("job-journal-write calls = %d, want %d", got, jobs*firesPerJob)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -81,6 +82,30 @@ type RetryConfig struct {
 	Attempts  int           // total attempts (default 3)
 	BaseDelay time.Duration // delay before the 2nd attempt (default 5ms)
 	MaxDelay  time.Duration // backoff ceiling (default 500ms)
+
+	// Rand, when non-nil, jitters each backoff sleep: the wait before
+	// attempt n is drawn uniformly from [d/2, d] where d is the
+	// exponential schedule's delay for that attempt (equal jitter). The
+	// generator is caller-seeded, so a given (seed, failure sequence)
+	// replays the same wait sequence — jitter without losing determinism.
+	// Nil keeps the exact exponential schedule unchanged.
+	//
+	// *rand.Rand is not safe for concurrent use; callers sharing a
+	// RetryConfig across goroutines must serialize the retries (the skewd
+	// job journal holds its append lock across the retry loop) or give
+	// each goroutine its own generator.
+	Rand *rand.Rand
+}
+
+// sleepFor returns the wait before the next attempt: delay exactly when no
+// jitter generator is configured, otherwise a seeded draw from [delay/2,
+// delay].
+func (c *RetryConfig) sleepFor(delay time.Duration) time.Duration {
+	if c.Rand == nil || delay <= 1 {
+		return delay
+	}
+	half := delay / 2
+	return half + time.Duration(c.Rand.Int63n(int64(delay-half)+1))
 }
 
 func (c *RetryConfig) setDefaults() {
@@ -121,7 +146,7 @@ func Retry(ctx context.Context, cfg RetryConfig, op func() error) error {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("%w: %v (retrying after: %v)", ErrCanceled, ctx.Err(), last)
-		case <-time.After(delay):
+		case <-time.After(cfg.sleepFor(delay)):
 		}
 		delay *= 2
 		if delay > cfg.MaxDelay {

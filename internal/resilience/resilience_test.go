@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -136,5 +137,82 @@ func TestFormatCounts(t *testing.T) {
 	got := FormatCounts(map[string]int{"b": 2, "a": 1})
 	if got != "a:1 b:2" {
 		t.Fatalf("formatted = %q", got)
+	}
+}
+
+// TestRetryJitterSeededDeterministic pins the jittered-backoff contract: a
+// nil Rand keeps the exact exponential schedule, a seeded Rand draws waits
+// from [d/2, d], and the same seed replays the same wait sequence.
+func TestRetryJitterSeededDeterministic(t *testing.T) {
+	schedule := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 80 * time.Millisecond,
+	}
+
+	plain := RetryConfig{}
+	for _, d := range schedule {
+		if got := plain.sleepFor(d); got != d {
+			t.Errorf("nil Rand: sleepFor(%v) = %v, want exact", d, got)
+		}
+	}
+
+	draw := func(seed int64) []time.Duration {
+		cfg := RetryConfig{Rand: rand.New(rand.NewSource(seed))}
+		out := make([]time.Duration, 0, len(schedule))
+		for _, d := range schedule {
+			s := cfg.sleepFor(d)
+			if s < d/2 || s > d {
+				t.Fatalf("seed %d: sleepFor(%v) = %v outside [%v, %v]", seed, d, s, d/2, d)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed drew different wait sequences: %v vs %v", a, b)
+		}
+	}
+	c := draw(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds drew identical wait sequences across 5 draws")
+	}
+}
+
+// TestRetryWithJitterStillRetries: the jittered path changes only the
+// sleeps — attempt counting, success, and exhaustion behave as before.
+func TestRetryWithJitterStillRetries(t *testing.T) {
+	cfg := RetryConfig{
+		Attempts:  3,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  2 * time.Millisecond,
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	calls := 0
+	err := Retry(context.Background(), cfg, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("jittered retry: err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	err = Retry(context.Background(), cfg, func() error {
+		calls++
+		return errors.New("permanent")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("jittered exhaustion: err=%v calls=%d", err, calls)
 	}
 }

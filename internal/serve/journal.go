@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"skewvar/internal/core"
+	"skewvar/internal/edaio/atomicio"
+	"skewvar/internal/faults"
+	"skewvar/internal/resilience"
+)
+
+// journalName is the journal's file name inside the spool directory.
+const journalName = "jobs.journal"
+
+// Journal record kinds. A job's lifecycle in the journal is
+// submit → (start → finish | start → suspend)* — the last record wins,
+// and a job whose last record is submit, start, or suspend is not
+// terminal and is re-enqueued on replay.
+const (
+	recSubmit  = "submit"
+	recStart   = "start"
+	recFinish  = "finish"
+	recSuspend = "suspend"
+)
+
+// record is one journal line. Spec carries the original request body on
+// submit records so a replayed daemon can rebuild the job without any
+// other state surviving the crash.
+type record struct {
+	Seq      int             `json:"seq"`
+	Kind     string          `json:"kind"`
+	Job      string          `json:"job"`
+	State    string          `json:"state,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Degraded bool            `json:"degraded,omitempty"`
+	Faults   map[string]int  `json:"faults,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+}
+
+// journal serializes appends to the crash-safe job journal. Writes retry
+// with seeded-jitter exponential backoff; the job-journal-write fault
+// hook fails individual attempts so the retry and rejection paths can be
+// exercised deterministically.
+type journal struct {
+	mu   sync.Mutex
+	app  *atomicio.Appender
+	path string
+	seq  int
+	inj  *faults.Injector
+	rng  *rand.Rand
+}
+
+// openJournal opens the journal for appending. The appender heals a torn
+// final line from a previous crash; seq continues from the last line the
+// replayer could decode.
+func openJournal(path string, inj *faults.Injector, seed int64) (*journal, error) {
+	recs, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	app, err := atomicio.OpenAppender(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	seq := 0
+	if n := len(recs); n > 0 {
+		seq = recs[n-1].Seq
+	}
+	return &journal{
+		app:  app,
+		path: path,
+		seq:  seq,
+		inj:  inj,
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// append durably writes one record, assigning it the next sequence
+// number. Transient write failures are retried with jittered backoff; a
+// record that still cannot land is reported as a typed checkpoint error
+// and the journal stays positioned at its last good line.
+func (jl *journal) append(ctx context.Context, rec record) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	rec.Seq = jl.seq + 1
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding journal record: %v: %w", err, resilience.ErrCheckpoint)
+	}
+	op := func() error {
+		if jl.inj.Fire(faults.JobJournalWrite) {
+			return errors.New("serve: injected journal write failure")
+		}
+		return jl.app.AppendLine(line)
+	}
+	cfg := resilience.RetryConfig{
+		Attempts:  4,
+		BaseDelay: 2 * time.Millisecond,
+		Rand:      jl.rng,
+	}
+	if err := resilience.Retry(ctx, cfg, op); err != nil {
+		return fmt.Errorf("serve: journal %s: %v: %w", jl.path, err, resilience.ErrCheckpoint)
+	}
+	jl.seq = rec.Seq
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (jl *journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.app.Close()
+}
+
+// readJournal decodes the journal's records in order, stopping at the
+// first torn or undecodable line (everything after a tear is untrusted;
+// OpenAppender truncates the tear before new appends). A missing journal
+// is an empty one.
+func readJournal(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: reading journal %s: %w", path, err)
+	}
+	defer f.Close()
+	var recs []record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	// A scanner error (e.g. oversized line) also just ends the replayable
+	// prefix; the appender will truncate the remainder.
+	return recs, nil
+}
+
+// replay rebuilds the in-memory job table from the journal and returns
+// the jobs needing (re-)execution, in original submission order. For
+// each such job a usable flow checkpoint is loaded when present; a
+// corrupt one falls back to a fresh run, counted and logged but not
+// fatal — the flows are deterministic, so a fresh run converges to the
+// same result.
+func (s *Server) replay() ([]*job, error) {
+	recs, err := readJournal(filepath.Join(s.cfg.SpoolDir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case recSubmit:
+			j := &job{id: rec.Job, raw: append([]byte(nil), rec.Spec...), state: StateQueued}
+			// Specs were validated at admission; tolerate a decode failure
+			// here (the run will fail the job with a typed error).
+			if err := json.Unmarshal(rec.Spec, &j.req); err != nil {
+				s.logf("replay: job %s has undecodable spec: %v", rec.Job, err)
+			}
+			s.jobs[rec.Job] = j
+			s.order = append(s.order, rec.Job)
+			s.submits++
+		case recStart:
+			if j, ok := s.jobs[rec.Job]; ok {
+				j.attempts++
+			}
+		case recFinish:
+			if j, ok := s.jobs[rec.Job]; ok {
+				j.state = rec.State
+				j.class = rec.Class
+				j.errMsg = rec.Error
+				j.degraded = rec.Degraded
+				j.faults = rec.Faults
+			}
+		case recSuspend:
+			if j, ok := s.jobs[rec.Job]; ok {
+				j.state = StateQueued
+				j.degraded = rec.Degraded
+				j.faults = rec.Faults
+			}
+		}
+	}
+	var pending []*job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state != StateQueued {
+			continue
+		}
+		ckpt := s.jobPath(j.id, "ckpt")
+		if _, err := os.Stat(ckpt); err == nil {
+			cp, lerr := core.LoadCheckpoint(ckpt)
+			if lerr != nil {
+				s.logf("replay: job %s checkpoint unusable (%v); falling back to fresh run", j.id, lerr)
+				s.counter("serve.jobs.checkpoint_fallback").Add(1)
+			} else {
+				j.resume = cp
+			}
+		}
+		pending = append(pending, j)
+	}
+	return pending, nil
+}

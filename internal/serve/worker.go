@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"skewvar/internal/core"
+	"skewvar/internal/ctree"
+	"skewvar/internal/faults"
+	"skewvar/internal/obs"
+	"skewvar/internal/resilience"
+)
+
+// startWorkers launches the bounded worker pool. Together with
+// startAccept these are the only sanctioned goroutine launch sites in
+// this package (enforced by skewlint's poolbound analyzer): every other
+// function, including the drain sequence, stays on its caller's
+// goroutine so the pool bound is the concurrency bound.
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.mu.Lock()
+		s.active++
+		s.mu.Unlock()
+		go s.workerLoop()
+	}
+}
+
+// startAccept starts the HTTP server on its own goroutine; its exit
+// error (http.ErrServerClosed after a drain) is delivered on AcceptErr.
+func (s *Server) startAccept(ln net.Listener) {
+	s.httpSrv = &http.Server{Handler: s.handler()}
+	s.acceptErr = make(chan error, 1)
+	srv, ch := s.httpSrv, s.acceptErr
+	go func() {
+		ch <- srv.Serve(ln)
+	}()
+}
+
+// workerLoop picks queued jobs until a drain begins. The pickCtx
+// re-check after a receive closes the race where a drain starts while a
+// job is already in hand: the job is put down un-run — its journal state
+// is still non-terminal, so it suspends correctly and resumes on
+// restart.
+func (s *Server) workerLoop() {
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-s.pickCtx.Done():
+			return
+		case j := <-s.queue:
+			if s.pickCtx.Err() != nil {
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job end to end: journal the start, run the flow
+// under per-job isolation, persist the artifacts, and journal the
+// terminal (or suspend) record. It never lets a job error or panic
+// escape to the worker loop.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.attempts++
+	s.queued--
+	s.running++
+	resume := j.resume
+	j.resume = nil // a checkpoint resumes at most once
+	s.mu.Unlock()
+	s.setQueueGauges()
+
+	// A failed start record is logged and counted but does not block the
+	// run: the submit record already makes the job durable, and a crash
+	// now simply replays it from the top.
+	if err := s.jl.append(s.hardCtx, record{Kind: recStart, Job: j.id}); err != nil {
+		s.logf("job %s: start record failed: %v", j.id, err)
+		s.counter("serve.journal.write_failures").Add(1)
+	}
+
+	timeout := s.cfg.JobTimeout
+	if j.req.TimeoutMS > 0 {
+		if d := time.Duration(j.req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	jctx, cancel := context.WithTimeout(s.hardCtx, timeout)
+	defer cancel()
+
+	// slow-job simulates a wedged worker deterministically: the job parks
+	// until its deadline (or a drain's hard cancel) fires, then proceeds
+	// into the flow with a dead context and takes the normal canceled
+	// path.
+	if s.cfg.Faults.Fire(faults.SlowJob) {
+		s.counter("serve.faults.slow_job").Add(1)
+		<-jctx.Done()
+	}
+
+	jrec := obs.New()
+	var res *core.FlowResult
+	var design *ctree.Design
+	err := resilience.Safely("job "+j.id, func() error {
+		if s.cfg.Faults.Fire(faults.WorkerPanic) {
+			s.counter("serve.faults.worker_panic").Add(1)
+			panic("serve: injected worker panic")
+		}
+		d, tm, perr := s.parseDesign(j.req.Design)
+		if perr != nil {
+			return perr
+		}
+		design = d
+		stages, serr := flowStages(j.req.Flow)
+		if serr != nil {
+			return serr
+		}
+		cfg := core.FlowConfig{
+			TopPairs: defaultInt(j.req.Pairs, 300),
+			Global:   core.GlobalConfig{MaxPairsPerLP: defaultInt(j.req.Pairs, 300)},
+			Local:    core.LocalConfig{MaxIters: defaultInt(j.req.Iters, 12)},
+			Only:     stages,
+			Workers:  defaultInt(j.req.Workers, 1),
+			Checkpoint: core.CheckpointConfig{
+				Path:       s.jobPath(j.id, "ckpt"),
+				EveryIters: defaultInt(j.req.CheckpointEvery, 1),
+			},
+			Resume: resume,
+			Obs:    jrec,
+			Logf: func(format string, args ...interface{}) {
+				s.logf("job "+j.id+": "+format, args...)
+			},
+		}
+		r, ferr := core.RunFlows(jctx, tm, s.cfg.Char, d, s.cfg.Model, cfg)
+		res = r
+		return ferr
+	})
+
+	// Per-job observability lands in the spool regardless of outcome; a
+	// sink failure is counted, not fatal.
+	if terr := jrec.WriteTrace(s.jobPath(j.id, "trace.jsonl")); terr != nil {
+		s.logf("job %s: trace sink: %v", j.id, terr)
+		s.counter("serve.sink.failures").Add(1)
+	}
+	if merr := jrec.WriteMetrics(s.jobPath(j.id, "metrics.json")); merr != nil {
+		s.logf("job %s: metrics sink: %v", j.id, merr)
+		s.counter("serve.sink.failures").Add(1)
+	}
+
+	s.finishJob(j, design, res, err)
+	s.setQueueGauges()
+}
+
+// finishJob classifies the run's outcome, persists the result design for
+// successes, and journals the terminal or suspend record.
+func (s *Server) finishJob(j *job, design *ctree.Design, res *core.FlowResult, err error) {
+	state, kind := StateDone, recFinish
+	var class, msg string
+	switch {
+	case err == nil:
+		if werr := s.writeResult(j, design, res); werr != nil {
+			s.logf("job %s: result sink: %v", j.id, werr)
+			state, class, msg = StateFailed, "internal", werr.Error()
+		}
+	case errors.Is(err, resilience.ErrCanceled) && s.draining.Load():
+		// Drain canceled it; the flow checkpointed at the cancellation
+		// boundary and the next process resumes it.
+		state, kind = StateSuspended, recSuspend
+	default:
+		state, class, msg = StateFailed, errClass(err), err.Error()
+		if errors.Is(err, resilience.ErrCanceled) {
+			state = StateCanceled
+		}
+	}
+
+	var degraded bool
+	var fcounts map[string]int
+	if res != nil {
+		degraded = res.Degraded
+		fcounts = res.Faults
+	}
+
+	rec := record{Kind: kind, Job: j.id, State: state, Class: class,
+		Error: msg, Degraded: degraded, Faults: fcounts}
+	if jerr := s.jl.append(s.hardCtx, rec); jerr != nil {
+		// The outcome could not be made durable: after a crash the job
+		// would replay. The in-memory state still reflects this run.
+		s.logf("job %s: %s record failed: %v", j.id, kind, jerr)
+		s.counter("serve.journal.write_failures").Add(1)
+	}
+
+	s.mu.Lock()
+	j.state = state
+	j.class = class
+	j.errMsg = msg
+	j.degraded = degraded
+	j.faults = fcounts
+	s.running--
+	s.mu.Unlock()
+	s.counter("serve.jobs." + state).Add(1)
+	s.logf("job %s: %s%s", j.id, state, classSuffix(class))
+}
+
+func classSuffix(class string) string {
+	if class == "" {
+		return ""
+	}
+	return " (" + class + ")"
+}
+
+func defaultInt(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
