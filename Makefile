@@ -2,13 +2,14 @@
 # lint (go vet + skewlint) + build + the full test suite, then the suite
 # again under the race detector in -short mode (which still runs a real
 # optimization flow via the core stage-subset test, just not the
-# multi-minute matrices), then the skewd crash/fault/drain end-to-end.
+# multi-minute matrices), then the skewd crash/fault/drain end-to-end and
+# the skewfleet replica-failover end-to-end.
 
 GO ?= go
 
-.PHONY: tier1 vet lint lint-fix-report cover build test race serve-e2e bench fuzz help
+.PHONY: tier1 vet lint lint-fix-report cover build test race serve-e2e fleet-e2e bench fuzz help
 
-tier1: lint cover build test race serve-e2e
+tier1: lint cover build test race serve-e2e fleet-e2e
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +60,15 @@ race:
 serve-e2e:
 	$(GO) test -run 'TestSkewd' -count=1 -v ./internal/clitest/
 
+# skewfleet end-to-end: crash a replica that owns a running job and verify
+# a peer steals its journal and finishes it byte-identical to an
+# uninterrupted single-node run (2 seeds x {1,3} replicas x {1,4} intra-job
+# workers), plus the partition / delayed-heartbeat matrix (dispatch
+# failover, breaker quarantine, false-positive death under fencing) with
+# the no-job-lost-or-duplicated journal invariant checked after each run.
+fleet-e2e:
+	$(GO) test -run 'TestSkewfleet' -count=1 -v ./internal/clitest/
+
 # Parallel STA / concurrent-trial benchmarks, recorded as benchstat-style
 # records in BENCH_pr4.json (cmd/benchjson converts the bench text, derives
 # per-group speedups against the j=1 serial baseline, and collects the
@@ -81,5 +91,6 @@ help:
 	@echo "test             go test ./..."
 	@echo "race             -short suite under -race, then 3x the Parallel equivalence tests"
 	@echo "serve-e2e        skewd crash/fault/drain end-to-end (kill -9 resume, fault matrix)"
+	@echo "fleet-e2e        skewfleet failover end-to-end (replica kill -> journal steal, partitions)"
 	@echo "bench            parallel STA benchmarks + OBSMETRIC gauges -> BENCH_pr4.json"
 	@echo "fuzz             30s fuzz of the design reader"

@@ -153,11 +153,11 @@ func TestObsclockCorpus(t *testing.T) {
 
 func TestPoolboundCorpus(t *testing.T) {
 	p := loadCorpus(t, "poolbound")
-	// Bind the sanctioned-pool allowlist to the corpus package's runIndexed
-	// and startAccept, mirroring how Suite binds DefaultPools' multi-entry
-	// lists (core.runIndexed / sta.forEachCorner / serve.startWorkers+
-	// startAccept).
-	a := Poolbound(map[string][]string{p.Path: {"runIndexed", "startAccept"}})
+	// Bind the sanctioned-pool allowlist to the corpus package's runIndexed,
+	// startAccept, and startMonitor, mirroring how Suite binds DefaultPools'
+	// multi-entry lists (core.runIndexed / sta.forEachCorner /
+	// serve.startWorkers+startAccept / fleet.startMonitor+startAccept).
+	a := Poolbound(map[string][]string{p.Path: {"runIndexed", "startAccept", "startMonitor"}})
 	checkCorpus(t, p, a.Run(p))
 }
 

@@ -10,12 +10,15 @@ import (
 // deterministically reduced worker pools every concurrent path in the
 // repository funnels through, plus skewd's two process-lifetime launch
 // points (the job worker pool and the HTTP accept loop — both bounded,
-// both drained by serve.Drain). Keyed by import path; values are function
+// both drained by serve.Drain) and the fleet coordinator's two (the
+// heartbeat/repair monitor and its accept loop — one goroutine each,
+// stopped by fleet.Drain). Keyed by import path; values are function
 // names within that package whose bodies may contain go statements.
 var DefaultPools = map[string][]string{
 	"skewvar/internal/core":  {"runIndexed"},
 	"skewvar/internal/sta":   {"forEachCorner"},
 	"skewvar/internal/serve": {"startWorkers", "startAccept"},
+	"skewvar/internal/fleet": {"startMonitor", "startAccept"},
 }
 
 // Poolbound flags every go statement outside the sanctioned worker pools.

@@ -52,3 +52,21 @@ func startAccept(serve func() error) <-chan error {
 func Drain(stop func()) {
 	go stop() // want "go statement outside the sanctioned worker pools"
 }
+
+// startMonitor is the third sanctioned launch site (a single-goroutine
+// periodic-loop shape, like fleet.startMonitor).
+func startMonitor(tick func() bool) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for tick() {
+		}
+	}()
+	return done
+}
+
+// retrySteal shows the monitor's exemption does not leak into its
+// helpers: repair work launched off the monitor goroutine is flagged.
+func retrySteal(steal func()) {
+	go steal() // want "go statement outside the sanctioned worker pools"
+}

@@ -53,10 +53,30 @@ const (
 	// per-job deadline, queue-backpressure, and drain-timeout paths without
 	// wall-clock-sensitive sleeps.
 	SlowJob = "slow-job"
+
+	// ReplicaCrash kills an in-process fleet replica at the dispatch
+	// boundary, right after a job was durably admitted to it — the
+	// deterministic kill -9: the job is journaled but unfinished, and a
+	// surviving peer must steal the journal and resume it. The call index
+	// selects which dispatch dies, so `replica-crash:at=2` always kills the
+	// replica holding the second dispatched job.
+	ReplicaCrash = "replica-crash"
+
+	// RPCDrop drops one coordinator→replica RPC (submit, status, or ping):
+	// the call fails with a transport error as if the packet never arrived.
+	// Arm a run of consecutive drops (first=N) to simulate a partition.
+	RPCDrop = "rpc-drop"
+
+	// HeartbeatDelay fails one heartbeat probe as if the reply arrived
+	// after the probe deadline. A run shorter than the coordinator's miss
+	// threshold exercises suspicion and recovery; a longer run drives a
+	// false-positive death, fencing, and journal steal of a live replica.
+	HeartbeatDelay = "heartbeat-delay"
 )
 
 // Hooks lists every known hook name.
-var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply, JobJournalWrite, WorkerPanic, SlowJob}
+var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply, JobJournalWrite, WorkerPanic, SlowJob,
+	ReplicaCrash, RPCDrop, HeartbeatDelay}
 
 // Spec is one hook's injection plan. Zero-value fields are inactive; a Spec
 // with no active field always fires (used for "always fail" plans). Max, when

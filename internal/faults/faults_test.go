@@ -137,6 +137,90 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestFleetHooks pins the fleet-level hooks (replica-crash, rpc-drop,
+// heartbeat-delay) into the taxonomy: they parse, they follow the same
+// deterministic plans as every other hook, and injections reach the
+// observer with exact call indices — the property the fleet's seeded
+// chaos-replay harness depends on.
+func TestFleetHooks(t *testing.T) {
+	in, err := Parse("replica-crash:at=2, rpc-drop:first=3, heartbeat-delay:p=0.5+max=2", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		hook string
+		call int
+	}
+	var seen []obs
+	in.SetObserver(func(hook string, call int) { seen = append(seen, obs{hook, call}) })
+
+	// replica-crash:at=2 — exactly the second dispatch dies.
+	var crashSeq []bool
+	for i := 0; i < 4; i++ {
+		crashSeq = append(crashSeq, in.Fire(ReplicaCrash))
+	}
+	want := []bool{false, true, false, false}
+	for i := range want {
+		if crashSeq[i] != want[i] {
+			t.Fatalf("replica-crash seq = %v, want %v", crashSeq, want)
+		}
+	}
+
+	// rpc-drop:first=3 — a three-call partition, then the network heals.
+	for i := 0; i < 5; i++ {
+		if got, wantFire := in.Fire(RPCDrop), i < 3; got != wantFire {
+			t.Fatalf("rpc-drop call %d = %v, want %v", i+1, got, wantFire)
+		}
+	}
+
+	// heartbeat-delay:p=0.5+max=2 — seeded, capped, replayable.
+	replay := func(seed int64) []bool {
+		r := New(seed).Arm(HeartbeatDelay, Spec{Prob: 0.5, Max: 2})
+		var seq []bool
+		for i := 0; i < 32; i++ {
+			seq = append(seq, r.Fire(HeartbeatDelay))
+		}
+		return seq
+	}
+	a, b := replay(11), replay(11)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed replayed a different heartbeat-delay sequence")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired > 2 {
+		t.Fatalf("max=2 cap exceeded: %d fires", fired)
+	}
+
+	// The observer saw exactly the injections, in firing order with 1-based
+	// call indices.
+	wantSeen := []obs{{ReplicaCrash, 2}, {RPCDrop, 1}, {RPCDrop, 2}, {RPCDrop, 3}}
+	if len(seen) != len(wantSeen) {
+		t.Fatalf("observer saw %v, want %v", seen, wantSeen)
+	}
+	for i := range wantSeen {
+		if seen[i] != wantSeen[i] {
+			t.Fatalf("observer saw %v, want %v", seen, wantSeen)
+		}
+	}
+
+	// All three names are registered in Hooks (Parse already proved it, but
+	// keep the registry honest if someone edits the slice).
+	known := map[string]bool{}
+	for _, h := range Hooks {
+		known[h] = true
+	}
+	for _, h := range []string{ReplicaCrash, RPCDrop, HeartbeatDelay} {
+		if !known[h] {
+			t.Errorf("hook %q missing from Hooks", h)
+		}
+	}
+}
+
 // TestParallelSetObserver hammers one injector from many goroutines — the
 // shape skewd produces when several jobs fire the service-level hooks
 // concurrently while the daemon installs, swaps, and removes observers.

@@ -427,7 +427,13 @@ func copyHist(h HistSnapshot) HistSnapshot {
 // WriteMetrics atomically writes the recorder's metrics snapshot as
 // indented JSON. Nil-safe (writes an empty snapshot's "{}" document).
 func (r *Recorder) WriteMetrics(path string) error {
-	snap := r.Snapshot()
+	return WriteSnapshot(path, r.Snapshot())
+}
+
+// WriteSnapshot atomically writes an already-materialized snapshot as
+// indented JSON — the fleet coordinator uses it to persist its merged
+// cross-replica view, which no single recorder holds.
+func WriteSnapshot(path string, snap Snapshot) error {
 	return atomicio.WriteFile(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

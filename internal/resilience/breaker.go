@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are denied until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is in flight; its outcome decides
+	// whether the breaker closes or re-opens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// BreakerConfig tunes a Breaker. Zero values select the defaults.
+//
+// The breaker is call-counted, not clock-driven: the cooldown is a number
+// of denied Allow calls rather than a duration, so a caller polling at a
+// fixed cadence (the fleet coordinator's heartbeat tick) gets time-like
+// behavior while tests stay exactly replayable with no sleeps.
+type BreakerConfig struct {
+	Threshold int // consecutive failures that trip the breaker (default 3)
+	Cooldown  int // denied Allow calls while open before the half-open probe (default 8)
+
+	// Rand, when non-nil, jitters each trip's cooldown: a seeded draw from
+	// [Cooldown/2, Cooldown] (equal jitter, mirroring RetryConfig.Rand), so
+	// a fleet of breakers tripped by the same outage doesn't probe in
+	// lockstep. Nil keeps the exact configured cooldown. The generator is
+	// guarded by the breaker's own lock.
+	Rand *rand.Rand
+}
+
+func (c *BreakerConfig) setDefaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker
+// (closed → open → half-open → closed), safe for concurrent use. The
+// fleet coordinator keeps one per replica on the dispatch path: repeated
+// dispatch failures quarantine the replica (open), and a successful
+// half-open probe re-admits it.
+type Breaker struct {
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	state  BreakerState
+	fails  int // consecutive failures while closed
+	denies int // Allow denials since the breaker opened
+	wait   int // this trip's (possibly jittered) cooldown
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.setDefaults()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. While open it counts the
+// denial and, once the cooldown is spent, grants exactly one half-open
+// probe; further calls are denied until Success or Failure resolves the
+// probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.denies++
+		if b.denies >= b.wait {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open, probe outstanding
+		return false
+	}
+}
+
+// Success records a successful call: it resets the failure streak and
+// closes the breaker from a half-open probe.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+}
+
+// Failure records a failed call: the Threshold-th consecutive failure
+// while closed — or any failed half-open probe — opens the breaker for a
+// fresh (jittered) cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	}
+}
+
+// trip opens the breaker. Caller holds the lock.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.denies = 0
+	b.wait = b.cfg.Cooldown
+	if b.cfg.Rand != nil && b.cfg.Cooldown > 1 {
+		half := b.cfg.Cooldown / 2
+		b.wait = half + b.cfg.Rand.Intn(b.cfg.Cooldown-half+1)
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

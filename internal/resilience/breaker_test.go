@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBreakerTransitions drives the closed→open→half-open state machine
+// through event scripts: 'f' Failure, 's' Success, 'a' Allow-must-grant,
+// 'd' Allow-must-deny. Each case pins the full transcript, so any change
+// to the transition rules fails loudly.
+func TestBreakerTransitions(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    BreakerConfig
+		script string
+		end    BreakerState
+	}{
+		{
+			name:   "closed-allows-and-absorbs-sub-threshold-failures",
+			cfg:    BreakerConfig{Threshold: 3, Cooldown: 2},
+			script: "affasaffa", // two failures, success resets, two more: never trips
+			end:    BreakerClosed,
+		},
+		{
+			name:   "trips-at-threshold",
+			cfg:    BreakerConfig{Threshold: 3, Cooldown: 2},
+			script: "fffd", // third consecutive failure opens; next Allow denied
+			end:    BreakerOpen,
+		},
+		{
+			name:   "success-resets-the-streak",
+			cfg:    BreakerConfig{Threshold: 2, Cooldown: 2},
+			script: "fsfsfsa", // alternating failures never reach the threshold
+			end:    BreakerClosed,
+		},
+		{
+			name:   "cooldown-denies-then-grants-one-probe",
+			cfg:    BreakerConfig{Threshold: 1, Cooldown: 3},
+			script: "fddad", // trip; 2 denies spend the cooldown... 3rd Allow is the probe; probe outstanding → deny
+			end:    BreakerHalfOpen,
+		},
+		{
+			name:   "probe-success-closes",
+			cfg:    BreakerConfig{Threshold: 1, Cooldown: 2},
+			script: "fdasa", // trip, deny, probe granted, Success closes, Allow flows
+			end:    BreakerClosed,
+		},
+		{
+			name:   "probe-failure-reopens-for-a-fresh-cooldown",
+			cfg:    BreakerConfig{Threshold: 1, Cooldown: 2},
+			script: "fdafdad", // trip, probe, fail → open again with a full cooldown
+			end:    BreakerHalfOpen,
+		},
+		{
+			name:   "reopened-breaker-recovers-on-second-probe",
+			cfg:    BreakerConfig{Threshold: 2, Cooldown: 1},
+			script: "ffafasa", // trip at 2; probe fails; next probe succeeds
+			end:    BreakerClosed,
+		},
+		{
+			name:   "defaults-threshold-3-cooldown-8",
+			cfg:    BreakerConfig{},
+			script: "fffdddddddad", // 7 denies spend the 8-call cooldown; the 8th Allow is the probe
+			end:    BreakerHalfOpen,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBreaker(tc.cfg)
+			for i, ev := range tc.script {
+				switch ev {
+				case 'f':
+					b.Failure()
+				case 's':
+					b.Success()
+				case 'a':
+					if !b.Allow() {
+						t.Fatalf("step %d (%q): Allow denied, want granted (state %s)", i, tc.script, b.State())
+					}
+				case 'd':
+					if b.Allow() {
+						t.Fatalf("step %d (%q): Allow granted, want denied (state %s)", i, tc.script, b.State())
+					}
+				}
+			}
+			if got := b.State(); got != tc.end {
+				t.Fatalf("end state = %s, want %s", got, tc.end)
+			}
+		})
+	}
+}
+
+// TestBreakerJitteredCooldown pins the seeded-jitter contract: with a
+// generator the per-trip cooldown is drawn from [C/2, C] and replays
+// exactly per seed; without one it is exactly C.
+func TestBreakerJitteredCooldown(t *testing.T) {
+	const cooldown = 16
+	probeAfter := func(b *Breaker) int {
+		b.Failure() // Threshold 1: trips immediately
+		denies := 0
+		for !b.Allow() {
+			denies++
+			if denies > cooldown+1 {
+				t.Fatal("probe never granted")
+			}
+		}
+		b.Failure() // re-open so the caller can measure the next trip
+		return denies
+	}
+
+	// Nil Rand: exact schedule, every trip identical.
+	exact := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: cooldown})
+	for i := 0; i < 3; i++ {
+		// The probe is granted on the cooldown-th Allow, so denies = C-1.
+		if got := probeAfter(exact); got != cooldown-1 {
+			t.Fatalf("trip %d: %d denies before probe, want %d", i, got, cooldown-1)
+		}
+	}
+
+	// Seeded Rand: draws stay in [C/2, C], replay per seed, and vary
+	// across trips (16 trips of a 9-value range collide all 16 times with
+	// probability ~0).
+	draws := func(seed int64) []int {
+		b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: cooldown, Rand: rand.New(rand.NewSource(seed))})
+		var ds []int
+		for i := 0; i < 16; i++ {
+			ds = append(ds, probeAfter(b)+1)
+		}
+		return ds
+	}
+	a, b := draws(5), draws(5)
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed replayed different cooldowns")
+		}
+		if a[i] < cooldown/2 || a[i] > cooldown {
+			t.Fatalf("jittered cooldown %d outside [%d, %d]", a[i], cooldown/2, cooldown)
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("16 jittered trips never varied")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open", BreakerState(42): "invalid",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(st), got, want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"skewvar/internal/core"
+	"skewvar/internal/obs"
+	"skewvar/internal/resilience"
+)
+
+// This file is the fleet-facing surface of the daemon: programmatic
+// admission under caller-assigned job ids, adoption of results computed
+// elsewhere, crash simulation for the in-process cluster harness, and
+// read/append access to a (fenced) replica's journal for work stealing.
+
+// ErrBusy reports an admission rejected by the queue bound — backpressure,
+// not failure. The fleet coordinator sheds such a dispatch to the next
+// replica on the ring without penalizing this one's circuit breaker.
+var ErrBusy = errors.New("queue full")
+
+// StartWorkers launches only the job worker pool, without an HTTP
+// listener. Fleet replicas run this way: the coordinator is their only
+// client, over the in-process transport.
+func (s *Server) StartWorkers() { s.startWorkers() }
+
+// Ready reports whether the server is accepting work: not draining and
+// not crashed.
+func (s *Server) Ready() bool { return !s.draining.Load() && !s.crashed.Load() }
+
+// Stats is a point-in-time view of the server's load, for fleet
+// readiness and placement decisions.
+type Stats struct {
+	Queued  int  // jobs journaled and waiting for a worker
+	Running int  // jobs executing now
+	Workers int  // live worker goroutines
+	Jobs    int  // jobs ever admitted (including replayed and adopted)
+	Ready   bool // accepting work (not draining, not crashed)
+}
+
+// Stats returns the server's current load counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Queued:  s.queued,
+		Running: s.running,
+		Workers: s.active,
+		Jobs:    len(s.order),
+		Ready:   !s.draining.Load() && !s.crashed.Load(),
+	}
+}
+
+// JobIDs returns the ids of every job this server knows, in submission
+// order. The fleet coordinator uses it to rebuild its assignment table
+// from replica journals after a full-process restart.
+func (s *Server) JobIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Metrics returns the server's metric snapshot; the fleet coordinator
+// folds replica snapshots together with obs.Merge.
+func (s *Server) Metrics() obs.Snapshot { return s.cfg.Obs.Snapshot() }
+
+// Admit validates, journals, and enqueues a job under a caller-assigned
+// id — the fleet dispatch path (HTTP submission assigns its own ids).
+// Admission is idempotent on the id: re-admitting a known job returns its
+// current status without a second execution, which is what makes journal
+// steals safe to repeat. A checkpoint file already in the spool under the
+// job's id (copied there by a stealing peer) is picked up as the resume
+// point.
+func (s *Server) Admit(ctx context.Context, id string, spec []byte) (JobStatus, error) {
+	if id == "" {
+		return JobStatus{}, fmt.Errorf("serve: Admit requires a job id: %w", resilience.ErrInvalidDesign)
+	}
+	if !s.Ready() {
+		return JobStatus{}, fmt.Errorf("serve: not ready (draining or crashed)")
+	}
+	// Fast idempotency path: a known id never re-validates (its spec was
+	// validated when first admitted, possibly by another replica).
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	var req JobRequest
+	if err := json.Unmarshal(spec, &req); err != nil {
+		return JobStatus{}, fmt.Errorf("serve: decoding job spec: %v: %w", err, resilience.ErrInvalidDesign)
+	}
+	if _, err := flowStages(req.Flow); err != nil {
+		return JobStatus{}, err
+	}
+	if _, _, err := s.parseDesign(req.Design); err != nil {
+		return JobStatus{}, err
+	}
+
+	var resume *core.Checkpoint
+	if _, err := os.Stat(s.jobPath(id, "ckpt")); err == nil {
+		cp, lerr := core.LoadCheckpoint(s.jobPath(id, "ckpt"))
+		if lerr != nil {
+			s.logf("admit: job %s checkpoint unusable (%v); falling back to fresh run", id, lerr)
+			s.counter("serve.jobs.checkpoint_fallback").Add(1)
+		} else {
+			resume = cp
+		}
+	}
+	return s.admitValidated(ctx, id, spec, req, resume)
+}
+
+// AdoptFinished registers a job that already ran to a terminal state on
+// another replica (the caller has copied its artifacts into this spool).
+// Both the submission and the terminal record are journaled, so the
+// adoption survives restarts. Idempotent on the job id.
+func (s *Server) AdoptFinished(ctx context.Context, id string, spec []byte, st JobStatus) error {
+	switch st.State {
+	case StateDone, StateFailed, StateCanceled:
+	default:
+		return fmt.Errorf("serve: AdoptFinished: state %q is not terminal", st.State)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; ok {
+		return nil
+	}
+	if err := s.jl.append(ctx, record{Kind: recSubmit, Job: id, Spec: spec}); err != nil {
+		s.counter("serve.journal.write_failures").Add(1)
+		return err
+	}
+	if err := s.jl.append(ctx, record{Kind: recFinish, Job: id, State: st.State,
+		Class: st.Class, Error: st.Error, Degraded: st.Degraded, Faults: st.Faults}); err != nil {
+		// The submit landed but the finish did not: after a crash the job
+		// replays as pending and re-runs — deterministic flows make that a
+		// duplicate effort, never a divergent result.
+		s.counter("serve.journal.write_failures").Add(1)
+		return err
+	}
+	j := &job{id: id, raw: append([]byte(nil), spec...), state: st.State, attempts: st.Attempts,
+		class: st.Class, errMsg: st.Error, degraded: st.Degraded, faults: st.Faults}
+	if err := json.Unmarshal(spec, &j.req); err != nil {
+		s.logf("adopt: job %s has undecodable spec: %v", id, err)
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.counter("serve.jobs.adopted").Add(1)
+	return nil
+}
+
+// Crash simulates kill -9 for the in-process fleet harness: from this
+// instant no journal record, result, or sink write lands, in-flight job
+// contexts die, and the worker pool is reaped. The object must then be
+// abandoned (a restart is a fresh New on the same spool, exactly like a
+// restarted process). Crash returns once every worker goroutine has
+// exited, so a subsequent journal steal sees a quiescent spool — the
+// in-process analogue of fencing a dead node before touching its state.
+func (s *Server) Crash() {
+	if !s.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	s.jl.dead.Store(true)
+	s.hardCancel()
+	s.waitWorkers(10 * time.Second)
+}
+
+// JournalJob is one job's state as read from a spool's journal, for
+// fleet-level steal decisions.
+type JournalJob struct {
+	ID       string
+	Spec     []byte
+	State    string // StateQueued when non-terminal, else the terminal state
+	Terminal bool
+	Stolen   bool   // a peer already took this job
+	Thief    string // who, when Stolen
+	Status   JobStatus
+}
+
+// ReadJournalJobs reduces a spool's journal into per-job states in
+// submission order, without opening the journal for writing. The fleet
+// coordinator runs it against a fenced replica's spool to decide what to
+// steal, and against every spool at startup to rebuild its assignment
+// table.
+func ReadJournalJobs(spoolDir string) ([]JournalJob, error) {
+	recs, err := readJournal(filepath.Join(spoolDir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	var out []JournalJob
+	for _, e := range reduceJournal(recs) {
+		terminal := e.state == StateDone || e.state == StateFailed || e.state == StateCanceled
+		jj := JournalJob{
+			ID: e.id, Spec: e.spec, State: e.state, Terminal: terminal,
+			Stolen: e.stolen, Thief: e.thief,
+			Status: JobStatus{ID: e.id, State: e.state, Attempts: e.attempts,
+				Degraded: e.degraded, Faults: e.faults, Class: e.class, Error: e.errMsg},
+		}
+		out = append(out, jj)
+	}
+	return out, nil
+}
+
+// MarkStolen appends steal records for the given jobs to the journal in
+// spoolDir. Only call it for a fenced replica (crashed or otherwise
+// quiescent): the journal is append-only single-writer, and fencing is
+// what guarantees the dead replica's appender is silent. A torn final
+// line from the crash is healed before the steal records land. Marking a
+// job twice is harmless — reduction keeps the last thief.
+func MarkStolen(spoolDir, thief string, ids []string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	jl, err := openJournal(filepath.Join(spoolDir, journalName), nil, 1)
+	if err != nil {
+		return err
+	}
+	defer jl.Close()
+	for _, id := range ids {
+		if err := jl.append(context.Background(), record{Kind: recSteal, Job: id, Thief: thief}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpoolArtifact returns the path of a per-job artifact ("ckpt",
+// "out.json", "trace.jsonl", "metrics.json") in a spool directory, the
+// same layout jobPath uses. The fleet steal path copies artifacts between
+// spools through it.
+func SpoolArtifact(spoolDir, id, suffix string) string {
+	return filepath.Join(spoolDir, id+"."+suffix)
+}

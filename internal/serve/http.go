@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -78,38 +79,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	if s.queued >= s.cfg.QueueDepth {
-		s.mu.Unlock()
-		s.counter("serve.jobs.rejected.full").Add(1)
+	st, err := s.admitValidated(r.Context(), "", body, req, nil)
+	switch {
+	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "backpressure",
-			"queue full (%d queued)", s.cfg.QueueDepth)
-		return
+		writeError(w, http.StatusTooManyRequests, "backpressure", "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "checkpoint", "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": st.ID, "state": st.State})
 	}
-	s.submits++
-	id := fmt.Sprintf("j%06d", s.submits)
-	j := &job{id: id, raw: body, req: req, state: StateQueued}
-	// Journal while holding the admission lock: IDs and journal order
-	// agree, and no competing submit can steal the queue slot.
-	if err := s.jl.append(r.Context(), record{Kind: recSubmit, Job: id, Spec: body}); err != nil {
-		s.submits--
-		s.mu.Unlock()
-		s.counter("serve.journal.write_failures").Add(1)
-		s.counter("serve.jobs.rejected.journal").Add(1)
-		writeError(w, http.StatusInternalServerError, "checkpoint",
-			"journaling job: %v", err)
-		return
-	}
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.queued++
-	s.mu.Unlock()
-
-	s.queue <- j
-	s.counter("serve.jobs.submitted").Add(1)
-	s.setQueueGauges()
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": StateQueued})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -158,7 +137,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	if !s.Ready() {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}

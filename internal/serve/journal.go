@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skewvar/internal/core"
@@ -24,17 +25,21 @@ const journalName = "jobs.journal"
 // Journal record kinds. A job's lifecycle in the journal is
 // submit → (start → finish | start → suspend)* — the last record wins,
 // and a job whose last record is submit, start, or suspend is not
-// terminal and is re-enqueued on replay.
+// terminal and is re-enqueued on replay. A steal record — appended by a
+// fleet peer after this replica was fenced — is sticky: a stolen job is
+// owned elsewhere and is never re-admitted here, whatever follows.
 const (
 	recSubmit  = "submit"
 	recStart   = "start"
 	recFinish  = "finish"
 	recSuspend = "suspend"
+	recSteal   = "steal"
 )
 
 // record is one journal line. Spec carries the original request body on
 // submit records so a replayed daemon can rebuild the job without any
-// other state surviving the crash.
+// other state surviving the crash; Thief names the stealing replica on
+// steal records.
 type record struct {
 	Seq      int             `json:"seq"`
 	Kind     string          `json:"kind"`
@@ -44,6 +49,7 @@ type record struct {
 	Error    string          `json:"error,omitempty"`
 	Degraded bool            `json:"degraded,omitempty"`
 	Faults   map[string]int  `json:"faults,omitempty"`
+	Thief    string          `json:"thief,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 }
 
@@ -58,6 +64,7 @@ type journal struct {
 	seq  int
 	inj  *faults.Injector
 	rng  *rand.Rand
+	dead atomic.Bool // set by Server.Crash: appends stop landing, as after kill -9
 }
 
 // openJournal opens the journal for appending. The appender heals a torn
@@ -92,6 +99,11 @@ func openJournal(path string, inj *faults.Injector, seed int64) (*journal, error
 func (jl *journal) append(ctx context.Context, rec record) error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
+	if jl.dead.Load() {
+		// The owning replica was crash-simulated: like a killed process,
+		// nothing it tries to record after the crash instant may land.
+		return fmt.Errorf("serve: journal %s: replica crashed: %w", jl.path, resilience.ErrCheckpoint)
+	}
 	rec.Seq = jl.seq + 1
 	line, err := json.Marshal(&rec)
 	if err != nil {
@@ -150,9 +162,73 @@ func readJournal(path string) ([]record, error) {
 	return recs, nil
 }
 
+// ledgerEntry is one job's reduced journal state: the fold of every
+// record that mentions it, in submission order.
+type ledgerEntry struct {
+	id       string
+	spec     []byte
+	state    string // StateQueued when non-terminal
+	attempts int
+	class    string
+	errMsg   string
+	degraded bool
+	faults   map[string]int
+	stolen   bool
+	thief    string
+}
+
+// reduceJournal folds a journal's records into per-job ledger entries in
+// first-submission order. The fold is idempotent under the corruptions a
+// crash-then-copy pipeline can produce: a duplicated submit (or a whole
+// duplicated tail) never creates a second entry for the same job id, and
+// records for never-submitted ids are dropped. Steal records are sticky —
+// once stolen, later duplicated lifecycle records cannot resurrect the
+// job locally.
+func reduceJournal(recs []record) []*ledgerEntry {
+	byID := map[string]*ledgerEntry{}
+	var order []*ledgerEntry
+	for _, rec := range recs {
+		e := byID[rec.Job]
+		switch rec.Kind {
+		case recSubmit:
+			if e != nil {
+				continue // duplicated submit: first spec wins
+			}
+			e = &ledgerEntry{id: rec.Job, spec: append([]byte(nil), rec.Spec...), state: StateQueued}
+			byID[rec.Job] = e
+			order = append(order, e)
+		case recStart:
+			if e != nil {
+				e.attempts++
+			}
+		case recFinish:
+			if e != nil && !e.stolen {
+				e.state = rec.State
+				e.class = rec.Class
+				e.errMsg = rec.Error
+				e.degraded = rec.Degraded
+				e.faults = rec.Faults
+			}
+		case recSuspend:
+			if e != nil && !e.stolen {
+				e.state = StateQueued
+				e.degraded = rec.Degraded
+				e.faults = rec.Faults
+			}
+		case recSteal:
+			if e != nil {
+				e.stolen = true
+				e.thief = rec.Thief
+			}
+		}
+	}
+	return order
+}
+
 // replay rebuilds the in-memory job table from the journal and returns
-// the jobs needing (re-)execution, in original submission order. For
-// each such job a usable flow checkpoint is loaded when present; a
+// the jobs needing (re-)execution, in original submission order. Jobs a
+// fleet peer stole are dropped entirely — they are owned elsewhere. For
+// each pending job a usable flow checkpoint is loaded when present; a
 // corrupt one falls back to a fresh run, counted and logged but not
 // fatal — the flows are deterministic, so a fresh run converges to the
 // same result.
@@ -161,41 +237,25 @@ func (s *Server) replay() ([]*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, rec := range recs {
-		switch rec.Kind {
-		case recSubmit:
-			j := &job{id: rec.Job, raw: append([]byte(nil), rec.Spec...), state: StateQueued}
-			// Specs were validated at admission; tolerate a decode failure
-			// here (the run will fail the job with a typed error).
-			if err := json.Unmarshal(rec.Spec, &j.req); err != nil {
-				s.logf("replay: job %s has undecodable spec: %v", rec.Job, err)
-			}
-			s.jobs[rec.Job] = j
-			s.order = append(s.order, rec.Job)
-			s.submits++
-		case recStart:
-			if j, ok := s.jobs[rec.Job]; ok {
-				j.attempts++
-			}
-		case recFinish:
-			if j, ok := s.jobs[rec.Job]; ok {
-				j.state = rec.State
-				j.class = rec.Class
-				j.errMsg = rec.Error
-				j.degraded = rec.Degraded
-				j.faults = rec.Faults
-			}
-		case recSuspend:
-			if j, ok := s.jobs[rec.Job]; ok {
-				j.state = StateQueued
-				j.degraded = rec.Degraded
-				j.faults = rec.Faults
-			}
-		}
-	}
 	var pending []*job
-	for _, id := range s.order {
-		j := s.jobs[id]
+	for _, e := range reduceJournal(recs) {
+		s.submits++
+		if e.stolen {
+			s.logf("replay: job %s was stolen by %s; skipping", e.id, e.thief)
+			s.counter("serve.jobs.stolen_away").Add(1)
+			continue
+		}
+		j := &job{
+			id: e.id, raw: e.spec, state: e.state, attempts: e.attempts,
+			class: e.class, errMsg: e.errMsg, degraded: e.degraded, faults: e.faults,
+		}
+		// Specs were validated at admission; tolerate a decode failure
+		// here (the run will fail the job with a typed error).
+		if err := json.Unmarshal(e.spec, &j.req); err != nil {
+			s.logf("replay: job %s has undecodable spec: %v", e.id, err)
+		}
+		s.jobs[e.id] = j
+		s.order = append(s.order, e.id)
 		if j.state != StateQueued {
 			continue
 		}

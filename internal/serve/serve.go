@@ -199,6 +199,7 @@ type Server struct {
 
 	queue    chan *job
 	draining atomic.Bool
+	crashed  atomic.Bool // kill -9 simulation armed by Crash (fleet harness)
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -368,6 +369,16 @@ func flowLabel(flow string) string {
 	return flow
 }
 
+// jobSeq extracts the sequence number from an id in the server's own
+// "j%06d" format (0 for any other shape).
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%06d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
 // flowStages maps a request's flow name to RunFlows' Only value,
 // rejecting unknown names at admission time.
 func flowStages(flow string) ([]string, error) {
@@ -405,7 +416,60 @@ func (s *Server) parseDesign(raw []byte) (*ctree.Design, *sta.Timer, error) {
 
 // jobPath builds a per-job artifact path in the spool.
 func (s *Server) jobPath(id, suffix string) string {
-	return filepath.Join(s.cfg.SpoolDir, id+"."+suffix)
+	return SpoolArtifact(s.cfg.SpoolDir, id, suffix)
+}
+
+// admitValidated is the shared admission core behind HTTP submission and
+// fleet Admit: register, journal, enqueue. The spec has been validated by
+// the caller. An empty id asks the server to assign the next sequential
+// one (the HTTP path); a supplied id admits idempotently — a known id
+// returns its current status with no second execution. A full queue is
+// rejected with ErrBusy; a journal that cannot make the submit durable
+// rejects the job entirely (never accepted, never run). The job is
+// journaled while the admission lock is held, so ids, journal order, and
+// queue slots always agree.
+func (s *Server) admitValidated(ctx context.Context, id string, spec []byte, req JobRequest, resume *core.Checkpoint) (JobStatus, error) {
+	s.mu.Lock()
+	if id != "" {
+		if j, ok := s.jobs[id]; ok {
+			st := s.statusLocked(j)
+			s.mu.Unlock()
+			return st, nil
+		}
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.counter("serve.jobs.rejected.full").Add(1)
+		return JobStatus{}, fmt.Errorf("serve: queue full (%d queued): %w", s.cfg.QueueDepth, ErrBusy)
+	}
+	assigned := id == ""
+	if assigned {
+		s.submits++
+		id = fmt.Sprintf("j%06d", s.submits)
+	} else if n := jobSeq(id); n > s.submits {
+		// A supplied id in the server's own format advances the local
+		// sequence so a later HTTP-assigned id can never collide with it.
+		s.submits = n
+	}
+	j := &job{id: id, raw: spec, req: req, state: StateQueued, resume: resume}
+	if err := s.jl.append(ctx, record{Kind: recSubmit, Job: id, Spec: spec}); err != nil {
+		if assigned {
+			s.submits--
+		}
+		s.mu.Unlock()
+		s.counter("serve.journal.write_failures").Add(1)
+		s.counter("serve.jobs.rejected.journal").Add(1)
+		return JobStatus{}, fmt.Errorf("serve: journaling job %s: %w", id, err)
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queued++
+	s.mu.Unlock()
+
+	s.queue <- j
+	s.counter("serve.jobs.submitted").Add(1)
+	s.setQueueGauges()
+	return JobStatus{ID: id, State: StateQueued, Flow: flowLabel(req.Flow)}, nil
 }
 
 // errClass maps a flow error onto the taxonomy label reported in job

@@ -68,6 +68,7 @@ func (s *Server) workerLoop() {
 // terminal (or suspend) record. It never lets a job error or panic
 // escape to the worker loop.
 func (s *Server) runJob(j *job) {
+	began := time.Now()
 	s.mu.Lock()
 	j.state = StateRunning
 	j.attempts++
@@ -142,6 +143,13 @@ func (s *Server) runJob(j *job) {
 		return ferr
 	})
 
+	// After a simulated kill -9 nothing may land: no sinks, no result, no
+	// journal record. The abandoned job is exactly as a real crash leaves
+	// it — journaled non-terminal, recoverable by replay or a peer's steal.
+	if s.crashed.Load() {
+		return
+	}
+
 	// Per-job observability lands in the spool regardless of outcome; a
 	// sink failure is counted, not fatal.
 	if terr := jrec.WriteTrace(s.jobPath(j.id, "trace.jsonl")); terr != nil {
@@ -154,6 +162,9 @@ func (s *Server) runJob(j *job) {
 	}
 
 	s.finishJob(j, design, res, err)
+	// Wall-clock job latency feeds the server histogram; the fleet
+	// aggregates these across replicas with the associative merge.
+	s.cfg.Obs.Histogram("serve.job.duration_ns").Observe(time.Since(began).Nanoseconds())
 	s.setQueueGauges()
 }
 
