@@ -2,14 +2,15 @@
 # lint (go vet + skewlint) + build + the full test suite, then the suite
 # again under the race detector in -short mode (which still runs a real
 # optimization flow via the core stage-subset test, just not the
-# multi-minute matrices), then the skewd crash/fault/drain end-to-end and
-# the skewfleet replica-failover end-to-end.
+# multi-minute matrices), then the skewd crash/fault/drain end-to-end, the
+# skewfleet replica-failover end-to-end, and the skewload group-commit
+# load/durability end-to-end.
 
 GO ?= go
 
-.PHONY: tier1 vet lint lint-fix-report cover build test race serve-e2e fleet-e2e bench fuzz help
+.PHONY: tier1 vet lint lint-fix-report cover build test race serve-e2e fleet-e2e load-e2e bench fuzz help
 
-tier1: lint cover build test race serve-e2e fleet-e2e
+tier1: lint cover build test race serve-e2e fleet-e2e load-e2e
 
 vet:
 	$(GO) vet ./...
@@ -51,7 +52,7 @@ test:
 # invariant most worth catching a data race in.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/ ./internal/obs/ ./internal/faults/
+	$(GO) test -race -count=3 -run 'Parallel' ./internal/sta/ ./internal/core/ ./internal/obs/ ./internal/faults/ ./internal/serve/
 
 # skewd end-to-end: submit, kill -9 mid-job, restart, verify the resumed
 # output is byte-identical to an uninterrupted run; plus the fault matrix
@@ -69,14 +70,22 @@ serve-e2e:
 fleet-e2e:
 	$(GO) test -run 'TestSkewfleet' -count=1 -v ./internal/clitest/
 
-# Parallel STA / concurrent-trial benchmarks, recorded as benchstat-style
-# records in BENCH_pr4.json (cmd/benchjson converts the bench text, derives
-# per-group speedups against the j=1 serial baseline, and collects the
-# OBSMETRIC gauges — cache hit rate, move accept rate — the benchmarks log
-# from their untimed regions). Compare ns/op against BENCH_pr2.json to see
-# the disabled-instrumentation overhead (the timed loops run with Obs nil).
+# skewload end-to-end: drive a live skewd over HTTP at fsync-per-line and
+# group-commit settings, assert every acked job survives (the run audits
+# durability by fetching every acked id back), group commit amortizes
+# fsyncs, throughput doesn't regress, and the per-tenant rate limiter
+# 429s a hot tenant without losing a job (docs/PERFORMANCE.md).
+load-e2e:
+	$(GO) test -run 'TestSkewload' -count=1 -v ./internal/clitest/
+
+# Parallel STA / concurrent-trial / group-commit benchmarks, recorded as
+# benchstat-style records in BENCH_pr7.json (cmd/benchjson converts the
+# bench text, derives per-group speedups against the j=1 serial baseline,
+# and collects the OBSMETRIC gauges — cache hit rate, move accept rate,
+# group-commit fsyncs per line — the benchmarks log from their untimed
+# regions). Compare ns/op against BENCH_pr4.json for the previous snapshot.
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr4.json
+	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr7.json
 
 # 30-second fuzz pass over the design reader's validation layer.
 fuzz:
@@ -92,5 +101,6 @@ help:
 	@echo "race             -short suite under -race, then 3x the Parallel equivalence tests"
 	@echo "serve-e2e        skewd crash/fault/drain end-to-end (kill -9 resume, fault matrix)"
 	@echo "fleet-e2e        skewfleet failover end-to-end (replica kill -> journal steal, partitions)"
-	@echo "bench            parallel STA benchmarks + OBSMETRIC gauges -> BENCH_pr4.json"
+	@echo "load-e2e         skewload load/durability end-to-end (group commit vs per-line fsync)"
+	@echo "bench            parallel STA + group-commit benchmarks + OBSMETRIC gauges -> BENCH_pr7.json"
 	@echo "fuzz             30s fuzz of the design reader"

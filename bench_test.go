@@ -15,12 +15,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"skewvar/internal/core"
 	"skewvar/internal/ctree"
 	"skewvar/internal/cts"
 	"skewvar/internal/eco"
+	"skewvar/internal/edaio/atomicio"
 	"skewvar/internal/exp"
 	"skewvar/internal/geom"
 	"skewvar/internal/lp"
@@ -690,5 +693,51 @@ func BenchmarkAblationLocalBudget(b *testing.B) {
 			b.Logf("local (3-iter budget):  ΣV %.0f → %.0f (%.1f%%)",
 				budgeted.SumVar0, budgeted.SumVar, 100*(1-budgeted.SumVar/budgeted.SumVar0))
 		}
+	}
+}
+
+// BenchmarkGroupCommitParallel measures the journal appender's
+// write+fsync amortization: 8*GOMAXPROCS concurrent appenders against one
+// GroupAppender across the batch sweep (fsync blocks in a syscall, so the
+// contention that forms batches needs goroutines, not CPUs). batch=1 is
+// the fsync-per-line baseline skewd shipped with; the OBSMETRIC line
+// records how many fsyncs each appended line actually cost.
+func BenchmarkGroupCommitParallel(b *testing.B) {
+	line := []byte(`{"seq":1,"kind":"submit","job":"j000001","spec":{"flow":"local","pairs":40}}`)
+	for _, cfg := range []struct {
+		name   string
+		batch  int
+		window time.Duration
+	}{
+		{"batch=1", 1, 0},
+		{"batch=8", 8, 2 * time.Millisecond},
+		{"batch=32", 32, 2 * time.Millisecond},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			g, err := atomicio.OpenGroupAppender(filepath.Join(b.TempDir(), "jobs.journal"),
+				atomicio.GroupOptions{MaxBatch: cfg.batch, Window: cfg.window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(line) + 1))
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := g.AppendLine(line); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if lines := g.Lines(); lines > 0 {
+				b.Logf("OBSMETRIC groupcommit_fsyncs_per_line/%s=%.4f",
+					cfg.name, float64(g.Syncs())/float64(lines))
+			}
+			if err := g.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

@@ -57,6 +57,10 @@ func main() {
 	queue := flag.Int("queue", 8, "max queued jobs before submits are rejected with 429")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline ceiling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "drain budget before in-flight jobs are canceled and suspended")
+	journalBatch := flag.Int("journal-batch", 1, "journal group-commit batch size (1 = fsync per record)")
+	journalWindow := flag.Duration("journal-window", 0, "max wait for a journal batch to fill before flushing anyway")
+	rate := flag.Float64("rate", 0, "per-tenant admission rate limit in jobs/second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-tenant admission burst (default: ceil of -rate)")
 	modelPath := flag.String("model", "", "trained model bundle (from trainml); trains a quick model if empty")
 	faultSpec := flag.String("faults", "", "deterministic fault injection spec, e.g. 'worker-panic:first=1' (testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
@@ -82,14 +86,18 @@ func main() {
 		SpoolDir:     *spool,
 		Workers:      *workers,
 		QueueDepth:   *queue,
-		JobTimeout:   *jobTimeout,
-		DrainTimeout: *drainTimeout,
-		Tech:         tech,
-		Char:         ch,
-		Model:        model,
-		Faults:       inj,
-		Obs:          rec,
-		RetrySeed:    *faultSeed,
+		JobTimeout:    *jobTimeout,
+		DrainTimeout:  *drainTimeout,
+		JournalBatch:  *journalBatch,
+		JournalWindow: *journalWindow,
+		RatePerTenant: *rate,
+		RateBurst:     *burst,
+		Tech:          tech,
+		Char:          ch,
+		Model:         model,
+		Faults:        inj,
+		Obs:           rec,
+		RetrySeed:     *faultSeed,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "skewd: "+format+"\n", args...)
 		},

@@ -60,6 +60,8 @@ func main() {
 	queue := flag.Int("queue", 8, "max queued jobs per replica before dispatch moves on")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline ceiling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "per-replica drain budget")
+	journalBatch := flag.Int("journal-batch", 1, "replica journal group-commit batch size (1 = fsync per record)")
+	journalWindow := flag.Duration("journal-window", 0, "max wait for a replica journal batch to fill before flushing anyway")
 	heartbeat := flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat tick period")
 	missThreshold := flag.Int("miss-threshold", 3, "consecutive missed heartbeats before a replica is declared dead")
 	modelPath := flag.String("model", "", "trained model bundle (from trainml); trains a quick model if empty")
@@ -90,6 +92,8 @@ func main() {
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
 		DrainTimeout:   *drainTimeout,
+		JournalBatch:   *journalBatch,
+		JournalWindow:  *journalWindow,
 		HeartbeatEvery: *heartbeat,
 		MissThreshold:  *missThreshold,
 		Tech:           tech,

@@ -12,13 +12,16 @@ import (
 // points (the job worker pool and the HTTP accept loop — both bounded,
 // both drained by serve.Drain) and the fleet coordinator's two (the
 // heartbeat/repair monitor and its accept loop — one goroutine each,
-// stopped by fleet.Drain). Keyed by import path; values are function
-// names within that package whose bodies may contain go statements.
+// stopped by fleet.Drain), and skewload's client pool (bounded fan-out
+// over a shared index counter, fully drained before results are read).
+// Keyed by import path; values are function names within that package
+// whose bodies may contain go statements.
 var DefaultPools = map[string][]string{
 	"skewvar/internal/core":  {"runIndexed"},
 	"skewvar/internal/sta":   {"forEachCorner"},
 	"skewvar/internal/serve": {"startWorkers", "startAccept"},
 	"skewvar/internal/fleet": {"startMonitor", "startAccept"},
+	"skewvar/cmd/skewload":   {"runClients"},
 }
 
 // Poolbound flags every go statement outside the sanctioned worker pools.

@@ -19,10 +19,13 @@ import (
 // whole one.
 //
 // Appender is not safe for concurrent use; callers serialize (the journal
-// holds one lock across its append-with-retry loop).
+// holds one lock across its append-with-retry loop). For concurrent
+// callers and batched fsyncs see GroupAppender.
 type Appender struct {
-	f   *os.File
-	off int64 // end of the last fully written line
+	f     *os.File
+	off   int64 // end of the last fully written line
+	dirty bool  // bytes written since the last successful fsync
+	syncs int64 // successful fsyncs issued (observable cost of durability)
 }
 
 // OpenAppender opens (or creates) path for appending. A torn final line
@@ -101,28 +104,47 @@ func (a *Appender) AppendLine(line []byte) error {
 	buf = append(buf, line...)
 	buf = append(buf, '\n')
 	n, err := a.f.WriteAt(buf, a.off)
-	if err == nil {
+	if err != nil {
+		a.dirty = true
+	} else {
 		err = a.f.Sync()
+		if err == nil {
+			a.dirty = false
+			a.syncs++
+		}
 	}
 	if err != nil {
 		// Roll back whatever partial bytes landed; if even the truncate
 		// fails the stored offset still marks the good prefix and the next
-		// attempt truncates again.
-		a.f.Truncate(a.off)
+		// attempt truncates again. Offset keeps reporting the durable tail.
+		if a.f.Truncate(a.off) == nil {
+			a.dirty = false
+		}
 		return fmt.Errorf("edaio: appending journal line (%d/%d bytes): %w", n, len(buf), err)
 	}
 	a.off += int64(len(buf))
 	return nil
 }
 
-// Offset returns the end of the last durably appended line.
+// Offset returns the end of the last durably appended line. It is defined
+// after failures too: a failed or rolled-back append never advances it.
 func (a *Appender) Offset() int64 { return a.off }
 
-// Close syncs and closes the underlying file.
+// Syncs returns how many fsyncs the appender has issued — the unit the
+// group-commit throughput work optimizes, exposed so benchmarks and load
+// tests can report fsyncs per appended line.
+func (a *Appender) Syncs() int64 { return a.syncs }
+
+// Close closes the underlying file, syncing first only if unsynced bytes
+// remain from a failed append (every successful AppendLine already synced,
+// so the common path issues no redundant fsync).
 func (a *Appender) Close() error {
-	if err := a.f.Sync(); err != nil {
-		a.f.Close()
-		return fmt.Errorf("edaio: syncing journal: %w", err)
+	if a.dirty {
+		if err := a.f.Sync(); err != nil {
+			a.f.Close()
+			return fmt.Errorf("edaio: syncing journal: %w", err)
+		}
+		a.syncs++
 	}
 	if err := a.f.Close(); err != nil {
 		return fmt.Errorf("edaio: closing journal: %w", err)

@@ -107,3 +107,27 @@ func TestAppenderRejectsEmbeddedNewline(t *testing.T) {
 		t.Errorf("offset advanced on rejected line: %d", a.Offset())
 	}
 }
+
+func TestAppenderCloseDoesNotDoubleSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	a, err := OpenAppender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.AppendLine([]byte(fmt.Sprintf("l%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Syncs(); got != 3 {
+		t.Fatalf("Syncs() after 3 appends = %d, want 3 (one fsync per line)", got)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every AppendLine already synced, so Close must not have issued a
+	// redundant fourth fsync — the double-sync regression.
+	if got := a.Syncs(); got != 3 {
+		t.Errorf("Syncs() after Close = %d, want 3 (no redundant close-time fsync)", got)
+	}
+}

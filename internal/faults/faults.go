@@ -43,6 +43,15 @@ const (
 	// the submission is rejected with HTTP 500).
 	JobJournalWrite = "job-journal-write"
 
+	// JournalGroupFlush crashes a group-commit journal flush at a batch
+	// boundary. The hook is consulted three times per batch, in order —
+	// before the write, mid-write (leaving a torn tail), and after the
+	// write but before the fsync acknowledges — so `at=N` selects both
+	// which flush dies and at which boundary (call 3k+1/3k+2/3k+3 are
+	// flush k+1's three points). A fired crash kills the appender: acked
+	// lines stay durable, unacked lines are lost or torn, never corrupted.
+	JournalGroupFlush = "journal-group-flush"
+
 	// WorkerPanic panics a skewd worker at the top of a job run, exercising
 	// the per-job resilience.Safely isolation: the job fails with a typed
 	// panic class, the daemon survives.
@@ -75,8 +84,8 @@ const (
 )
 
 // Hooks lists every known hook name.
-var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply, JobJournalWrite, WorkerPanic, SlowJob,
-	ReplicaCrash, RPCDrop, HeartbeatDelay}
+var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply, JobJournalWrite, JournalGroupFlush,
+	WorkerPanic, SlowJob, ReplicaCrash, RPCDrop, HeartbeatDelay}
 
 // Spec is one hook's injection plan. Zero-value fields are inactive; a Spec
 // with no active field always fires (used for "always fail" plans). Max, when

@@ -63,6 +63,13 @@ type Config struct {
 	JobTimeout   time.Duration // per-job deadline ceiling (default 10m)
 	DrainTimeout time.Duration // per-replica drain budget (default 30s)
 
+	// JournalBatch and JournalWindow tune every replica journal's group
+	// commit (see serve.Config: the defaults — 1, 0 — are fsync per line,
+	// and the admitted-before-ack durability contract is unchanged at any
+	// setting, so journal steals see the same admitted-job set).
+	JournalBatch  int
+	JournalWindow time.Duration
+
 	// HeartbeatEvery is the monitor tick period (default 25ms). Every
 	// tick pings each replica and advances quarantine cooldowns, so the
 	// breaker's call-counted cooldown behaves like a time window.

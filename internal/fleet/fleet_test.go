@@ -607,3 +607,63 @@ func TestBreakerBackedByResilience(t *testing.T) {
 		t.Fatalf("fresh breaker state %q", got)
 	}
 }
+
+// TestGroupCommitStealNoLoss reruns the crash-and-steal pipeline with
+// replica journals in group-commit mode (batch 8, 2ms window): the
+// tuning threads through Config to every replica, and the no-loss
+// invariant — every admitted job active in exactly one journal after the
+// steal — holds exactly as in the fsync-per-line baseline.
+func TestGroupCommitStealNoLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives full optimization flows; skipped in -short (race/cover)")
+	}
+	spool := t.TempDir()
+	c := testCluster(t, spool, func(cfg *Config) {
+		cfg.JournalBatch = 8
+		cfg.JournalWindow = 2 * time.Millisecond
+	})
+	spec := jobSpec(t, nil)
+	byOwner := map[string][]string{}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, owner, err := c.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byOwner[owner] = append(byOwner[owner], st.ID)
+		ids = append(ids, st.ID)
+	}
+	var victim string
+	for owner, own := range byOwner {
+		if len(own) > 0 {
+			victim = owner
+			break
+		}
+	}
+	if err := c.CrashReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		waitState(t, c, id, serve.StateDone)
+	}
+	active := map[string]int{}
+	for _, ri := range c.Replicas() {
+		jobs, err := serve.ReadJournalJobs(filepath.Join(spool, ri.Name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if !j.Stolen {
+				active[j.ID]++
+			}
+		}
+	}
+	for _, id := range ids {
+		if active[id] != 1 {
+			t.Errorf("job %s active in %d journals under group commit, want exactly 1", id, active[id])
+		}
+	}
+}

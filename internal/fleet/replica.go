@@ -44,16 +44,18 @@ func (c *Cluster) startReplica(r *replica) error {
 	}
 	name := r.name
 	srv, err := serve.New(serve.Config{
-		SpoolDir:     r.spool,
-		Workers:      c.cfg.Workers,
-		QueueDepth:   c.cfg.QueueDepth,
-		JobTimeout:   c.cfg.JobTimeout,
-		DrainTimeout: c.cfg.DrainTimeout,
-		Tech:         c.cfg.Tech,
-		Char:         c.cfg.Char,
-		Model:        c.cfg.Model,
-		Obs:          obs.New(),
-		RetrySeed:    c.cfg.Seed,
+		SpoolDir:      r.spool,
+		Workers:       c.cfg.Workers,
+		QueueDepth:    c.cfg.QueueDepth,
+		JobTimeout:    c.cfg.JobTimeout,
+		DrainTimeout:  c.cfg.DrainTimeout,
+		JournalBatch:  c.cfg.JournalBatch,
+		JournalWindow: c.cfg.JournalWindow,
+		Tech:          c.cfg.Tech,
+		Char:          c.cfg.Char,
+		Model:         c.cfg.Model,
+		Obs:           obs.New(),
+		RetrySeed:     c.cfg.Seed,
 		Logf: func(format string, args ...interface{}) {
 			c.cfg.Logf(name+": "+format, args...)
 		},

@@ -332,6 +332,40 @@ func bucketKey(i int) string {
 	return "2^" + string([]byte{'0' + byte(i/10), '0' + byte(i%10)})
 }
 
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observations: the upper edge of the first log2 bucket whose cumulative
+// count reaches ceil(q*count). The bound is conservative — a reported
+// p99 is never below the true one, off by at most the 2x bucket width —
+// which is the right direction for latency reporting. An empty histogram
+// reports 0.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target > h.Count {
+		target = h.Count
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.Buckets[bucketKey(i)]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			if i >= 64 {
+				return math.MaxInt64
+			}
+			return (1 << i) - 1
+		}
+	}
+	return math.MaxInt64 // unreachable with a coherent snapshot
+}
+
 // Snapshot is a point-in-time copy of a Recorder's metrics. JSON encoding
 // is deterministic: encoding/json sorts map keys.
 type Snapshot struct {

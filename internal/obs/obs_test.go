@@ -423,3 +423,39 @@ func TestUnendedSpanNotRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations in [1,2), 9 in [512,1024), 1 in [4096,8192).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(700)
+	}
+	h.Observe(5000)
+	s := h.snapshot()
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.5, 1},     // bucket [1,2) upper edge
+		{0.90, 1},    // exactly the 90th observation
+		{0.95, 1023}, // bucket [512,1024)
+		{0.99, 1023},
+		{1.0, 8191}, // the max lives in [4096,8192)
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+	var zeros Histogram
+	zeros.Observe(0)
+	if got := zeros.snapshot().Quantile(0.99); got != 0 {
+		t.Errorf("all-zero histogram Quantile = %d, want 0", got)
+	}
+}

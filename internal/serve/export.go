@@ -84,9 +84,11 @@ func (s *Server) Admit(ctx context.Context, id string, spec []byte) (JobStatus, 
 		return JobStatus{}, fmt.Errorf("serve: not ready (draining or crashed)")
 	}
 	// Fast idempotency path: a known id never re-validates (its spec was
-	// validated when first admitted, possibly by another replica).
+	// validated when first admitted, possibly by another replica). An id
+	// whose first admission is still journaling is waited out in
+	// admitValidated so only durable jobs are ever reported.
 	s.mu.Lock()
-	if j, ok := s.jobs[id]; ok {
+	if j, ok := s.jobs[id]; ok && j.admitted == nil {
 		st := s.statusLocked(j)
 		s.mu.Unlock()
 		return st, nil
@@ -166,7 +168,7 @@ func (s *Server) Crash() {
 	if !s.crashed.CompareAndSwap(false, true) {
 		return
 	}
-	s.jl.dead.Store(true)
+	s.jl.kill()
 	s.hardCancel()
 	s.waitWorkers(10 * time.Second)
 }
@@ -217,7 +219,9 @@ func MarkStolen(spoolDir, thief string, ids []string) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	jl, err := openJournal(filepath.Join(spoolDir, journalName), nil, 1)
+	// Steal records go through the degenerate per-line discipline: a
+	// handful of records from one writer gain nothing from batching.
+	jl, err := openJournal(filepath.Join(spoolDir, journalName), nil, 1, journalTuning{batch: 1})
 	if err != nil {
 		return err
 	}

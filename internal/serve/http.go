@@ -54,6 +54,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
+	// Rate limiting sits before body parsing: a throttled tenant must be
+	// turned away at the cheapest possible point. The tenant is the
+	// X-Tenant header; absent means the shared anonymous bucket.
+	if s.limiter != nil {
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "anon"
+		}
+		if ok, wait := s.limiter.allow(tenant); !ok {
+			s.counter("serve.jobs.rejected.ratelimited").Add(1)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(wait)))
+			writeError(w, http.StatusTooManyRequests, "rate-limit",
+				"tenant %q exceeded %.3g jobs/s (burst %d)", tenant, s.cfg.RatePerTenant, s.cfg.RateBurst)
+			return
+		}
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxJobBytes))
 	if err != nil {
 		s.counter("serve.jobs.rejected.invalid").Add(1)

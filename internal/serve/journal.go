@@ -16,6 +16,7 @@ import (
 	"skewvar/internal/core"
 	"skewvar/internal/edaio/atomicio"
 	"skewvar/internal/faults"
+	"skewvar/internal/obs"
 	"skewvar/internal/resilience"
 )
 
@@ -53,63 +54,105 @@ type record struct {
 	Spec     json.RawMessage `json:"spec,omitempty"`
 }
 
-// journal serializes appends to the crash-safe job journal. Writes retry
-// with seeded-jitter exponential backoff; the job-journal-write fault
-// hook fails individual attempts so the retry and rejection paths can be
-// exercised deterministically.
+// journal coalesces appends to the crash-safe job journal through an
+// atomicio.GroupAppender: concurrent records share one write+fsync per
+// batch, and append returns only once the record's batch is durable, so
+// the submit-before-202 guarantee is byte-for-byte the one the per-line
+// appender gave (batch=1, window=0 — the default — IS the per-line
+// discipline). Writes retry with seeded-jitter exponential backoff; the
+// job-journal-write fault hook fails individual attempts and the
+// journal-group-flush hook crashes whole batches at their boundaries, so
+// both the retry and the torn-batch recovery paths replay by seed.
 type journal struct {
-	mu   sync.Mutex
-	app  *atomicio.Appender
+	mu   sync.Mutex // guards seq; appends themselves run concurrently
+	app  *atomicio.GroupAppender
 	path string
 	seq  int
+	seed int64
 	inj  *faults.Injector
-	rng  *rand.Rand
 	dead atomic.Bool // set by Server.Crash: appends stop landing, as after kill -9
 }
 
-// openJournal opens the journal for appending. The appender heals a torn
-// final line from a previous crash; seq continues from the last line the
-// replayer could decode.
-func openJournal(path string, inj *faults.Injector, seed int64) (*journal, error) {
+// journalTuning carries the group-commit knobs and metric sinks from the
+// server config into openJournal.
+type journalTuning struct {
+	batch  int
+	window time.Duration
+	obs    *obs.Recorder
+}
+
+// openJournal opens the journal for group-commit appending. The appender
+// heals a torn final line from a previous crash; seq continues past the
+// largest sequence number the replayer could decode (records may land
+// out of sequence order when a failed batch is retried behind newer
+// records, so the maximum — not the last line — is the high-water mark).
+func openJournal(path string, inj *faults.Injector, seed int64, tun journalTuning) (*journal, error) {
 	recs, err := readJournal(path)
 	if err != nil {
 		return nil, err
 	}
-	app, err := atomicio.OpenAppender(path)
+	jl := &journal{path: path, seed: seed, inj: inj}
+	for _, r := range recs {
+		if r.Seq > jl.seq {
+			jl.seq = r.Seq
+		}
+	}
+	// The crash hook consults the injector once per flush boundary; the
+	// torn-prefix length of a mid-write crash draws from a seeded stream
+	// so a (seed, spec) pair replays the same tear.
+	krng := rand.New(rand.NewSource(seed ^ 0x67726f7570)) // "group"
+	var kmu sync.Mutex
+	hook := func(point string, batchBytes int) (bool, int) {
+		if !jl.inj.Fire(faults.JournalGroupFlush) {
+			return false, 0
+		}
+		kmu.Lock()
+		keep := 1 + krng.Intn(batchBytes+1)
+		kmu.Unlock()
+		return true, keep
+	}
+	app, err := atomicio.OpenGroupAppender(path, atomicio.GroupOptions{
+		MaxBatch: tun.batch,
+		Window:   tun.window,
+		Hook:     hook,
+		OnFlush: func(lines int, bytes int64) {
+			tun.obs.Counter("serve.journal.fsyncs").Add(1)
+			tun.obs.Counter("serve.journal.flushed_lines").Add(int64(lines))
+			tun.obs.Histogram("serve.journal.batch_lines").Observe(int64(lines))
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
-	seq := 0
-	if n := len(recs); n > 0 {
-		seq = recs[n-1].Seq
-	}
-	return &journal{
-		app:  app,
-		path: path,
-		seq:  seq,
-		inj:  inj,
-		rng:  rand.New(rand.NewSource(seed)),
-	}, nil
+	jl.app = app
+	return jl, nil
 }
 
 // append durably writes one record, assigning it the next sequence
-// number. Transient write failures are retried with jittered backoff; a
-// record that still cannot land is reported as a typed checkpoint error
-// and the journal stays positioned at its last good line.
+// number. The caller blocks until the record's batch is fsynced.
+// Transient write failures are retried with jittered backoff; a record
+// that still cannot land is reported as a typed checkpoint error and the
+// journal stays positioned at its last durable line.
 func (jl *journal) append(ctx context.Context, rec record) error {
 	jl.mu.Lock()
-	defer jl.mu.Unlock()
 	if jl.dead.Load() {
+		jl.mu.Unlock()
 		// The owning replica was crash-simulated: like a killed process,
 		// nothing it tries to record after the crash instant may land.
 		return fmt.Errorf("serve: journal %s: replica crashed: %w", jl.path, resilience.ErrCheckpoint)
 	}
-	rec.Seq = jl.seq + 1
+	jl.seq++
+	rec.Seq = jl.seq
+	jl.mu.Unlock()
+
 	line, err := json.Marshal(&rec)
 	if err != nil {
 		return fmt.Errorf("serve: encoding journal record: %v: %w", err, resilience.ErrCheckpoint)
 	}
 	op := func() error {
+		if jl.dead.Load() {
+			return errors.New("serve: replica crashed")
+		}
 		if jl.inj.Fire(faults.JobJournalWrite) {
 			return errors.New("serve: injected journal write failure")
 		}
@@ -118,19 +161,26 @@ func (jl *journal) append(ctx context.Context, rec record) error {
 	cfg := resilience.RetryConfig{
 		Attempts:  4,
 		BaseDelay: 2 * time.Millisecond,
-		Rand:      jl.rng,
+		// Per-record generator (a *rand.Rand is not concurrency-safe, and
+		// appends now overlap): a given (seed, record seq, failure
+		// sequence) replays the same wait schedule.
+		Rand: rand.New(rand.NewSource(jl.seed + int64(rec.Seq))),
 	}
 	if err := resilience.Retry(ctx, cfg, op); err != nil {
 		return fmt.Errorf("serve: journal %s: %v: %w", jl.path, err, resilience.ErrCheckpoint)
 	}
-	jl.seq = rec.Seq
 	return nil
 }
 
-// Close flushes and closes the journal file.
+// kill marks the journal crashed and drops its unflushed batches, as
+// kill -9 would.
+func (jl *journal) kill() {
+	jl.dead.Store(true)
+	jl.app.Kill()
+}
+
+// Close flushes pending batches and closes the journal file.
 func (jl *journal) Close() error {
-	jl.mu.Lock()
-	defer jl.mu.Unlock()
 	return jl.app.Close()
 }
 

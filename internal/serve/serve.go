@@ -75,6 +75,28 @@ type Config struct {
 	DrainTimeout time.Duration // budget for jobs to finish on drain (default 30s)
 	MaxJobBytes  int64         // request body cap for POST /jobs (default 32MiB)
 
+	// JournalBatch and JournalWindow tune journal group commit: up to
+	// JournalBatch records share one write+fsync, and a record waits at
+	// most JournalWindow for its batch to fill before the flush runs
+	// anyway. The defaults (1, 0) keep the fsync-per-line discipline.
+	// The durability contract is identical in every configuration: a
+	// submission is acknowledged (202) only after the fsync covering its
+	// submit record returned — batching moves fsyncs, never the ack.
+	JournalBatch  int
+	JournalWindow time.Duration
+
+	// RatePerTenant and RateBurst arm per-tenant token-bucket admission
+	// rate limiting on POST /jobs (RatePerTenant <= 0 disables it, the
+	// default). The tenant is the request's X-Tenant header ("anon" when
+	// absent). Each tenant's bucket holds RateBurst tokens (default:
+	// ceil(RatePerTenant)) refilled at RatePerTenant tokens/second; a
+	// drained bucket rejects with 429 and a Retry-After derived from the
+	// bucket's refill deficit. RateClock injects the limiter's clock for
+	// deterministic tests (nil = process-monotonic wall clock).
+	RatePerTenant float64
+	RateBurst     int
+	RateClock     obs.Clock
+
 	Tech  *tech.Tech      // base technology designs are validated against
 	Char  *lut.Char       // characterized LUTs for the global stage
 	Model core.StageModel // stage model shared read-only across jobs
@@ -120,6 +142,15 @@ func (c *Config) setDefaults() error {
 	}
 	if c.MaxJobBytes <= 0 {
 		c.MaxJobBytes = 32 << 20
+	}
+	if c.JournalBatch <= 0 {
+		c.JournalBatch = 1
+	}
+	if c.RateBurst <= 0 && c.RatePerTenant > 0 {
+		c.RateBurst = int(c.RatePerTenant)
+		if float64(c.RateBurst) < c.RatePerTenant {
+			c.RateBurst++
+		}
 	}
 	if c.RetrySeed == 0 {
 		c.RetrySeed = 1
@@ -177,6 +208,14 @@ type job struct {
 	faults   map[string]int
 	class    string
 	errMsg   string
+
+	// admitted, when non-nil, is closed once the job's submit record is
+	// durable (or admission failed and the job was withdrawn — absence
+	// from the job table after the close is how waiters tell). Replayed
+	// and adopted jobs are durable by construction and leave it nil.
+	// Idempotent re-admissions block on it so no caller is ever told
+	// about a job whose submit has not yet been fsynced.
+	admitted chan struct{}
 }
 
 // Server is the optimization service. Construct with New, start with
@@ -185,7 +224,8 @@ type Server struct {
 	cfg  Config
 	logf func(string, ...interface{})
 
-	jl *journal
+	jl      *journal
+	limiter *tenantLimiter // nil when rate limiting is disabled
 
 	httpSrv   *http.Server
 	acceptErr chan error
@@ -233,11 +273,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	jl, err := openJournal(filepath.Join(cfg.SpoolDir, journalName), cfg.Faults, cfg.RetrySeed)
+	jl, err := openJournal(filepath.Join(cfg.SpoolDir, journalName), cfg.Faults, cfg.RetrySeed,
+		journalTuning{batch: cfg.JournalBatch, window: cfg.JournalWindow, obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
 	s.jl = jl
+	if cfg.RatePerTenant > 0 {
+		s.limiter = newTenantLimiter(cfg.RatePerTenant, cfg.RateBurst, cfg.RateClock)
+	}
 
 	// Channel slack: admission bounds the queue to QueueDepth, replayed
 	// jobs bypass admission, and workers may momentarily hold one more.
@@ -423,18 +467,43 @@ func (s *Server) jobPath(id, suffix string) string {
 // fleet Admit: register, journal, enqueue. The spec has been validated by
 // the caller. An empty id asks the server to assign the next sequential
 // one (the HTTP path); a supplied id admits idempotently — a known id
-// returns its current status with no second execution. A full queue is
-// rejected with ErrBusy; a journal that cannot make the submit durable
-// rejects the job entirely (never accepted, never run). The job is
-// journaled while the admission lock is held, so ids, journal order, and
-// queue slots always agree.
+// returns its current status with no second execution, waiting out an
+// in-flight first admission so the status it reports is durable. A full
+// queue is rejected with ErrBusy; a journal that cannot make the submit
+// durable rejects the job entirely (never accepted, never run).
+//
+// The journal append deliberately runs OUTSIDE the admission lock:
+// concurrent submissions must be able to share one group-commit batch,
+// and an append can block for a flush window. Ids and queue slots are
+// still claimed under the lock, so they always agree; journal file order
+// may differ from id order under concurrency, which replay tolerates
+// (reduction is keyed by job id, seq restarts from the maximum). A failed
+// append withdraws the registration; its id stays burned — a concurrent
+// admission may already hold a later one.
 func (s *Server) admitValidated(ctx context.Context, id string, spec []byte, req JobRequest, resume *core.Checkpoint) (JobStatus, error) {
 	s.mu.Lock()
 	if id != "" {
 		if j, ok := s.jobs[id]; ok {
-			st := s.statusLocked(j)
+			ch := j.admitted
+			if ch == nil {
+				st := s.statusLocked(j)
+				s.mu.Unlock()
+				return st, nil
+			}
+			// A first admission of this id is mid-journal-append. Wait for
+			// its durability verdict rather than reporting a job whose
+			// submit might still vanish in a crash.
 			s.mu.Unlock()
-			return st, nil
+			<-ch
+			s.mu.Lock()
+			if j, ok := s.jobs[id]; ok {
+				st := s.statusLocked(j)
+				s.mu.Unlock()
+				return st, nil
+			}
+			s.mu.Unlock()
+			return JobStatus{}, fmt.Errorf("serve: journaling job %s: concurrent admission failed: %w",
+				id, resilience.ErrCheckpoint)
 		}
 	}
 	if s.queued >= s.cfg.QueueDepth {
@@ -442,8 +511,7 @@ func (s *Server) admitValidated(ctx context.Context, id string, spec []byte, req
 		s.counter("serve.jobs.rejected.full").Add(1)
 		return JobStatus{}, fmt.Errorf("serve: queue full (%d queued): %w", s.cfg.QueueDepth, ErrBusy)
 	}
-	assigned := id == ""
-	if assigned {
+	if id == "" {
 		s.submits++
 		id = fmt.Sprintf("j%06d", s.submits)
 	} else if n := jobSeq(id); n > s.submits {
@@ -451,19 +519,32 @@ func (s *Server) admitValidated(ctx context.Context, id string, spec []byte, req
 		// sequence so a later HTTP-assigned id can never collide with it.
 		s.submits = n
 	}
-	j := &job{id: id, raw: spec, req: req, state: StateQueued, resume: resume}
-	if err := s.jl.append(ctx, record{Kind: recSubmit, Job: id, Spec: spec}); err != nil {
-		if assigned {
-			s.submits--
+	j := &job{id: id, raw: spec, req: req, state: StateQueued, resume: resume,
+		admitted: make(chan struct{})}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queued++
+	s.mu.Unlock()
+
+	err := s.jl.append(ctx, record{Kind: recSubmit, Job: id, Spec: spec})
+
+	s.mu.Lock()
+	close(j.admitted)
+	j.admitted = nil
+	if err != nil {
+		delete(s.jobs, id)
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
 		}
+		s.queued--
 		s.mu.Unlock()
 		s.counter("serve.journal.write_failures").Add(1)
 		s.counter("serve.jobs.rejected.journal").Add(1)
 		return JobStatus{}, fmt.Errorf("serve: journaling job %s: %w", id, err)
 	}
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.queued++
 	s.mu.Unlock()
 
 	s.queue <- j
