@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet lint lint-fix-report cover build test race serve-e2e fleet-e2e load-e2e bench fuzz help
+.PHONY: tier1 vet lint lint-new lint-fix-report cover build test race serve-e2e fleet-e2e load-e2e bench fuzz help
 
 tier1: lint cover build test race serve-e2e fleet-e2e load-e2e
 
@@ -20,6 +20,11 @@ vet:
 # Exit codes: 0 clean, 1 findings, 2 analysis failure (docs/ROBUSTNESS.md).
 lint: vet
 	$(GO) run ./cmd/skewlint ./...
+
+# Fast iteration on the flow-sensitive service-layer analyzers only
+# (lockscope/ackorder/deferbal over serve, fleet, atomicio).
+lint-new:
+	$(GO) run ./cmd/skewlint -only lockscope,ackorder,deferbal ./...
 
 # Machine-readable findings for tooling/triage: writes LINT_report.json and
 # always exits 0 (the report is the artifact; `make lint` is the gate).
@@ -94,6 +99,7 @@ fuzz:
 help:
 	@echo "tier1            lint + cover + build + test + race (the merge gate)"
 	@echo "lint             go vet + skewlint invariant analyzers (docs/ANALYSIS.md)"
+	@echo "lint-new         only the flow-sensitive analyzers (lockscope/ackorder/deferbal)"
 	@echo "lint-fix-report  skewlint -json -> LINT_report.json (never fails the build)"
 	@echo "cover            -short coverage -> COVER_report.txt; internal/obs must be >= 70%"
 	@echo "build            go build ./..."

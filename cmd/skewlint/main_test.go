@@ -14,7 +14,9 @@ import (
 func writeModule(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
-	files["go.mod"] = "module lintprobe\n\ngo 1.22\n"
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module lintprobe\n\ngo 1.22\n"
+	}
 	for name, src := range files {
 		path := filepath.Join(dir, name)
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -170,10 +172,107 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"maporder", "detsource", "ctxflow", "errwrap", "poolbound", "obsclock"} {
+	for _, name := range []string{
+		"maporder", "detsource", "ctxflow", "errwrap", "poolbound", "obsclock",
+		"lockscope", "ackorder", "deferbal",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
+	}
+}
+
+func TestOnlyUnknownNameIsTwo(t *testing.T) {
+	code, _, stderr := capture(t, []string{"-only", "maporder,nosuch", "-list"})
+	if code != 2 {
+		t.Fatalf("exit = %d on an unknown -only name, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr should name the unknown analyzer:\n%s", stderr)
+	}
+}
+
+func TestOnlyListShowsSubset(t *testing.T) {
+	code, out, _ := capture(t, []string{"-only", "lockscope,deferbal", "-list"})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"lockscope", "deferbal"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-only -list missing selected analyzer %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "maporder") {
+		t.Errorf("-only -list leaked an unselected analyzer:\n%s", out)
+	}
+}
+
+func TestOnlyRestrictsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	// The module is dirty for maporder, but maporder is not selected.
+	dir := writeModule(t, map[string]string{"probe.go": dirtySource})
+	code, out, stderr := capture(t, []string{"-dir", dir, "-only", "poolbound", "./..."})
+	if code != 0 {
+		t.Fatalf("exit = %d with the offending analyzer deselected, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out, stderr)
+	}
+}
+
+// lockedSleepSource blocks while holding a mutex — the lockscope shape.
+// It lives at skewvar/internal/serve in a throwaway module that borrows
+// the real module path, which is what puts it in the analyzer's scope.
+const lockedSleepSource = `package serve
+
+import (
+	"sync"
+	"time"
+)
+
+type gate struct{ mu sync.Mutex }
+
+func (g *gate) pause() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond)
+	g.mu.Unlock()
+}
+`
+
+func TestScopedAnalyzerJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped with -short")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod":                  "module skewvar\n\ngo 1.22\n",
+		"internal/serve/probe.go": lockedSleepSource,
+	})
+	code, out, stderr := capture(t, []string{
+		"-dir", dir, "-json", "-only", "lockscope,ackorder,deferbal", "./...",
+	})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	var report struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out)
+	}
+	if report.Count != 1 || len(report.Findings) != 1 {
+		t.Fatalf("want exactly one lockscope finding, got %d:\n%s", report.Count, out)
+	}
+	f := report.Findings[0]
+	if f.Analyzer != "lockscope" || f.File != "internal/serve/probe.go" {
+		t.Errorf("bad finding: %+v", f)
+	}
+	if !strings.Contains(f.Message, "Sleep") {
+		t.Errorf("finding should name the blocking call: %q", f.Message)
 	}
 }
 

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Ackorder enforces the submit-before-202 durability contract
+// (docs/ROBUSTNESS.md): in a job-submission HTTP handler, every path that
+// writes a 2xx success must first pass a journaled admission call *and*
+// check its error. A client that receives 202 for a job the journal never
+// durably recorded has been lied to — a crash right after the response
+// loses a job the client thinks is safe.
+//
+// Three rules, all over the function's CFG:
+//
+//  1. every 2xx write is dominated by an admission call — there is no path
+//     from the handler's entry to the ack that skips admission;
+//  2. from the admission call to the ack, some node on every path consults
+//     the admission error (any use of the error variable counts — the
+//     branch conditions of the canonical errors.Is switch do);
+//  3. a 2xx write never sits inside a branch taken *because* admission
+//     failed (an `err != nil` or `errors.Is(err, …)` condition) — the
+//     fleet ambiguous-ack path parks the job and answers 503, it must
+//     never answer 202.
+//
+// A 2xx write is any call carrying a constant integer argument in
+// [200,300): that catches writeJSON(w, http.StatusAccepted, …) and
+// w.WriteHeader(202) alike without caring which helper wraps the
+// ResponseWriter.
+
+// DefaultAckHandlers names the job-submission handlers, keyed by import
+// path; DefaultAdmitters the journaled admission callees those handlers
+// must route through. Both are data, like DefaultPools: adding a new
+// submission surface is a reviewable table edit.
+var (
+	DefaultAckHandlers = map[string][]string{
+		"skewvar/internal/serve": {"handleSubmit"},
+		"skewvar/internal/fleet": {"handleSubmit"},
+	}
+	DefaultAdmitters = []string{"admitValidated", "Submit", "Admit"}
+)
+
+// Ackorder builds the analyzer over a handler table and admission callee
+// names (production: DefaultAckHandlers, DefaultAdmitters).
+func Ackorder(handlers map[string][]string, admitters []string) *Analyzer {
+	hset := map[string]map[string]bool{}
+	var scope []string
+	for path, names := range handlers {
+		scope = append(scope, path)
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		hset[path] = m
+	}
+	sort.Strings(scope)
+	aset := map[string]bool{}
+	for _, n := range admitters {
+		aset[n] = true
+	}
+	return &Analyzer{
+		Name:    "ackorder",
+		Doc:     "2xx job-submission responses must follow a checked journaled admission",
+		InScope: pkgSet(scope...),
+		Run: func(p *Pkg) []Finding {
+			var out []Finding
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || !hset[p.Path][fd.Name.Name] {
+						continue
+					}
+					out = append(out, checkAckOrder(p, fd, aset)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// ackSite is one 2xx write or admission call located in the CFG.
+type ackSite struct {
+	block   int
+	nodeIdx int
+	call    *ast.CallExpr
+	errObj  types.Object // admissions only; nil when the error is discarded
+}
+
+func checkAckOrder(p *Pkg, fd *ast.FuncDecl, admitters map[string]bool) []Finding {
+	cfg := BuildCFG(fd.Body)
+
+	var acks, admits []ackSite
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			inspectBlockNode(n, func(c ast.Node) bool {
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if admitters[calleeName(call)] {
+					admits = append(admits, ackSite{
+						block: b.Index, nodeIdx: i, call: call,
+						errObj: assignedErr(p, n, call),
+					})
+				} else if ackStatus(p, call) != 0 {
+					acks = append(acks, ackSite{block: b.Index, nodeIdx: i, call: call})
+				}
+				return true
+			})
+		}
+	}
+	if len(acks) == 0 {
+		return nil
+	}
+
+	admitAt := map[[2]int]bool{} // (block, nodeIdx) containing an admission
+	for _, a := range admits {
+		admitAt[[2]int{a.block, a.nodeIdx}] = true
+	}
+
+	var out []Finding
+
+	// Rule 1: no admission-free path from entry to an ack.
+	for _, ack := range acks {
+		if unadmittedPath(cfg, admitAt, ack) {
+			out = append(out, p.finding("ackorder", ack.call,
+				"2xx submission response reachable without a journaled admission (submit-before-202)"))
+		}
+	}
+
+	// Rule 2: no error-check-free path from an admission to an ack.
+	for _, ad := range admits {
+		if ad.errObj == nil {
+			out = append(out, p.finding("ackorder", ad.call,
+				"admission call's error is discarded; the 2xx response cannot be error-guarded"))
+			continue
+		}
+		for _, bad := range uncheckedPaths(p, cfg, ad, acks) {
+			out = append(out, p.finding("ackorder", bad,
+				"2xx submission response on a path that never checks the admission error"))
+		}
+	}
+
+	// Rule 3: no 2xx inside an admission-error branch.
+	errObjs := map[types.Object]bool{}
+	for _, ad := range admits {
+		if ad.errObj != nil {
+			errObjs[ad.errObj] = true
+		}
+	}
+	out = append(out, ackOnErrorBranch(p, fd, errObjs)...)
+	return out
+}
+
+// assignedErr finds the error variable the admission call's result is
+// bound to, when the enclosing block node is `x, err := admit(...)` (or
+// `=`). Returns nil for a discarded or unbound error.
+func assignedErr(p *Pkg, node ast.Node, call *ast.CallExpr) types.Object {
+	as, ok := node.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call {
+		return nil
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := p.objectOf(id)
+		if obj == nil || obj.Type() == nil {
+			continue
+		}
+		if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// ackStatus reports the 2xx constant an ack call carries (0 if none): any
+// argument whose constant integer value is in [200,300).
+func ackStatus(p *Pkg, call *ast.CallExpr) int {
+	for _, arg := range call.Args {
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		if v, exact := constant.Int64Val(tv.Value); exact && v >= 200 && v < 300 {
+			return int(v)
+		}
+	}
+	return 0
+}
+
+// unadmittedPath reports whether entry can reach the ack without passing
+// an admission node (node-level dominance, approximated by reachability
+// through admission-free prefixes).
+func unadmittedPath(cfg *CFG, admitAt map[[2]int]bool, ack ackSite) bool {
+	seen := map[int]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		limit := len(b.Nodes)
+		if b.Index == ack.block {
+			limit = ack.nodeIdx + 1
+		}
+		for i := 0; i < limit; i++ {
+			if b.Index == ack.block && i == ack.nodeIdx {
+				return true // reached the ack admission-free
+			}
+			if admitAt[[2]int{b.Index, i}] {
+				return false // this prefix is admitted; stop the path
+			}
+		}
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(cfg.Entry)
+}
+
+// uncheckedPaths returns the ack calls reachable from the admission with
+// no intervening use of the admission's error variable.
+func uncheckedPaths(p *Pkg, cfg *CFG, ad ackSite, acks []ackSite) []*ast.CallExpr {
+	ackAt := map[[2]int]*ast.CallExpr{}
+	for _, a := range acks {
+		ackAt[[2]int{a.block, a.nodeIdx}] = a.call
+	}
+	found := map[*ast.CallExpr]bool{}
+	seen := map[int]bool{}
+	var dfs func(b *Block, start int)
+	dfs = func(b *Block, start int) {
+		if start == 0 {
+			if seen[b.Index] {
+				return
+			}
+			seen[b.Index] = true
+		}
+		for i := start; i < len(b.Nodes); i++ {
+			if c := ackAt[[2]int{b.Index, i}]; c != nil {
+				found[c] = true
+			}
+			if usesObject(p, b.Nodes[i], ad.errObj) {
+				return // the path is guarded from here on
+			}
+		}
+		for _, s := range b.Succs {
+			dfs(s, 0)
+		}
+	}
+	b := cfg.Blocks[ad.block]
+	dfs(b, ad.nodeIdx+1)
+	var out []*ast.CallExpr
+	for _, a := range acks {
+		if found[a.call] {
+			out = append(out, a.call)
+		}
+	}
+	return out
+}
+
+// usesObject reports whether the node mentions the object anywhere,
+// including inside function literals — a mention in a closure is still a
+// use (an error checked in a callback, a file captured by a goroutine).
+func usesObject(p *Pkg, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// ackOnErrorBranch flags a 2xx write lexically inside a branch whose
+// condition establishes that the admission *failed*: `err != nil`, or
+// `errors.Is(err, …)` — the fleet ambiguous-ack shape. This is the one
+// syntactic (not CFG) rule: the CFG has no predicate values, but "the
+// condition names an admission error match and the body answers success"
+// is reliably wrong.
+func ackOnErrorBranch(p *Pkg, fd *ast.FuncDecl, errObjs map[types.Object]bool) []Finding {
+	var out []Finding
+	flagAcks := func(body []ast.Stmt) {
+		for _, s := range body {
+			ast.Inspect(s, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok && ackStatus(p, call) != 0 {
+					out = append(out, p.finding("ackorder", call,
+						"2xx submission response on an admission-error branch"))
+				}
+				return true
+			})
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if isErrFailureTest(p, n.Cond, errObjs) {
+				flagAcks(n.Body.List)
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if isErrFailureTest(p, e, errObjs) {
+					flagAcks(n.Body)
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isErrFailureTest recognizes `err != nil` and `errors.Is(err, …)` over a
+// tracked admission error. `err == nil` is a success test and stays legal.
+func isErrFailureTest(p *Pkg, cond ast.Expr, errObjs map[types.Object]bool) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op != token.NEQ {
+			return false
+		}
+		for _, side := range []ast.Expr{c.X, c.Y} {
+			if id, ok := ast.Unparen(side).(*ast.Ident); ok && errObjs[p.Info.Uses[id]] {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		fn := p.calleeObject(c)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "errors" || fn.Name() != "Is" {
+			return false
+		}
+		if len(c.Args) > 0 {
+			if id, ok := ast.Unparen(c.Args[0]).(*ast.Ident); ok && errObjs[p.Info.Uses[id]] {
+				return true
+			}
+		}
+	}
+	return false
+}

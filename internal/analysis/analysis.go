@@ -22,6 +22,15 @@
 //	poolbound — goroutines only inside the sanctioned worker pools
 //	obsclock  — obs emit paths stamp through the injected Clock, never
 //	            package time directly
+//	lockscope — no blocking call (fsync, channel, network, sleep) while
+//	            holding a mutex in the service layer
+//	ackorder  — 2xx job-submission responses follow a checked journaled
+//	            admission (submit-before-202)
+//	deferbal  — Lock/Unlock and open/Close pairs balance on every CFG path
+//
+// The last three are flow-sensitive: they run a dataflow over a small
+// stdlib-only control-flow graph (cfg.go) instead of pattern-matching the
+// AST in place.
 //
 // Findings can be suppressed, one site at a time, with
 //
@@ -98,7 +107,7 @@ func pkgSet(paths ...string) func(string) bool {
 	return func(path string) bool { return set[path] }
 }
 
-// Suite returns the six analyzers with their production scopes bound to
+// Suite returns the nine analyzers with their production scopes bound to
 // this repository's import paths.
 func Suite() []*Analyzer {
 	return []*Analyzer{
@@ -108,7 +117,19 @@ func Suite() []*Analyzer {
 		Errwrap(),
 		Poolbound(DefaultPools),
 		Obsclock(),
+		Lockscope(DefaultBlocking),
+		Ackorder(DefaultAckHandlers, DefaultAdmitters),
+		Deferbal(),
 	}
+}
+
+// suiteNames is the canonical analyzer-name universe. Directive validation
+// checks against it (not just the analyzers currently running) so a
+// subset run like `skewlint -only lockscope` does not report every
+// directive naming another real analyzer as a typo.
+var suiteNames = []string{
+	"maporder", "detsource", "ctxflow", "errwrap", "poolbound", "obsclock",
+	"lockscope", "ackorder", "deferbal",
 }
 
 // directiveName is the pseudo-analyzer that owns malformed-suppression
@@ -202,9 +223,18 @@ func (d *directive) matches(f Finding) bool {
 // position. Unused directives are reported as findings too: a suppression
 // that no longer suppresses anything is stale documentation.
 func Apply(pkgs []*Pkg, analyzers []*Analyzer) []Finding {
-	known := map[string]bool{}
+	running := map[string]bool{}
 	for _, a := range analyzers {
-		known[a.Name] = true
+		running[a.Name] = true
+	}
+	// Directive names validate against the canonical universe plus any
+	// custom-bound analyzers in this run (the corpus tests bind their own).
+	known := map[string]bool{}
+	for _, n := range suiteNames {
+		known[n] = true
+	}
+	for n := range running {
+		known[n] = true
 	}
 	var out []Finding
 	for _, p := range pkgs {
@@ -230,7 +260,16 @@ func Apply(pkgs []*Pkg, analyzers []*Analyzer) []Finding {
 			}
 		}
 		for _, d := range dirs {
-			if !d.used {
+			// Staleness is only decidable when every analyzer the directive
+			// names actually ran: under a subset run (-only), a directive for
+			// an analyzer that sat out may be load-bearing.
+			decidable := true
+			for _, n := range d.names {
+				if n != "*" && !running[n] {
+					decidable = false
+				}
+			}
+			if decidable && !d.used {
 				out = append(out, Finding{
 					Analyzer: directiveName,
 					File:     d.file, Line: d.line, Col: 1,

@@ -154,11 +154,48 @@ func TestObsclockCorpus(t *testing.T) {
 func TestPoolboundCorpus(t *testing.T) {
 	p := loadCorpus(t, "poolbound")
 	// Bind the sanctioned-pool allowlist to the corpus package's runIndexed,
-	// startAccept, and startMonitor, mirroring how Suite binds DefaultPools'
-	// multi-entry lists (core.runIndexed / sta.forEachCorner /
-	// serve.startWorkers+startAccept / fleet.startMonitor+startAccept).
-	a := Poolbound(map[string][]string{p.Path: {"runIndexed", "startAccept", "startMonitor"}})
+	// startAccept, startMonitor, and runClients, mirroring how Suite binds
+	// DefaultPools' multi-entry lists (core.runIndexed / sta.forEachCorner /
+	// serve.startWorkers+startAccept / fleet.startMonitor+startAccept /
+	// skewload's runClients).
+	a := Poolbound(map[string][]string{p.Path: {"runIndexed", "startAccept", "startMonitor", "runClients"}})
 	checkCorpus(t, p, a.Run(p))
+}
+
+func TestLockscopeCorpus(t *testing.T) {
+	p := loadCorpus(t, "lockscope")
+	// Bind the module-internal blocking table to the corpus package's
+	// journaledCall, mirroring how Suite binds DefaultBlocking (serve's
+	// journal append and steal entry points).
+	a := Lockscope(map[string][]string{p.Path: {"journaledCall"}})
+	checkCorpus(t, p, a.Run(p))
+}
+
+func TestAckorderCorpus(t *testing.T) {
+	p := loadCorpus(t, "ackorder")
+	// Bind the handler table to every submission handler in the corpus and
+	// the admitter list to its admit method, mirroring how Suite binds
+	// DefaultAckHandlers/DefaultAdmitters.
+	handlers := map[string][]string{p.Path: {
+		"handleSubmit",
+		"handleSubmitEarlyAck",
+		"handleSubmitSkippable",
+		"handleSubmitUnchecked",
+		"handleSubmitDiscard",
+		"handleSubmitParked",
+		"handleSubmitAckAmbiguous",
+		"handleSubmitIfErrAck",
+		"handleSubmitRaw",
+		"handleSubmitRawBad",
+		"handleSubmitGuardedEarly",
+	}}
+	a := Ackorder(handlers, []string{"admit"})
+	checkCorpus(t, p, a.Run(p))
+}
+
+func TestDeferbalCorpus(t *testing.T) {
+	p := loadCorpus(t, "deferbal")
+	checkCorpus(t, p, Deferbal().Run(p))
 }
 
 // TestSuppressCorpus exercises the directive machinery end to end through

@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// This file builds a function-level control-flow graph over go/ast, the
+// substrate the flow-sensitive analyzers (lockscope, ackorder, deferbal)
+// run their dataflow on. Like the loader, it is pure stdlib — no
+// golang.org/x/tools — and deliberately small: basic blocks of executed
+// nodes with successor edges for if/for/range/switch/type-switch/select,
+// break/continue/goto (labeled or not), fallthrough, and return.
+//
+// The node contract analyzers rely on:
+//
+//   - A "simple" statement (assignment, expression, send, go, defer, decl,
+//     inc/dec) appears in a block as itself; its whole subtree executes in
+//     that block.
+//   - A control statement never appears in a block; only its header parts
+//     do. An if/for condition or switch tag appears as a bare expression
+//     in the block that branches on it, each case clause's expressions
+//     appear in that case's own condition block (chained, so a path to a
+//     later case re-executes every earlier case expression — exactly how
+//     the runtime evaluates an expression switch), and a select's comm
+//     statements each open their clause's first block.
+//   - *ast.RangeStmt is the one statement that appears as its own header
+//     node (so analyzers can see a range over a channel); only its X
+//     operand belongs to the block — use inspectBlockNode, which knows
+//     not to descend into the range body.
+//
+// Defer is represented, not simulated: a *ast.DeferStmt is a node in the
+// block where it executes (registration order), and analyzers decide what
+// the deferred call means at function exit. This keeps the graph honest
+// about conditionally registered defers without pretending to model the
+// runtime's LIFO unwinding.
+
+// Block is one basic block: nodes that execute straight-line, then a
+// branch to the successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Cond is set when the block ends in a two-way conditional branch:
+	// Succs[0] is taken when Cond is true, Succs[1] when it is false.
+	// Multi-way branches (switch chains, select) leave Cond nil.
+	Cond ast.Expr
+}
+
+// CFG is a function body's control-flow graph. Entry is the first block;
+// every return statement and the fall-off-the-end path edge into Exit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// cfgBuilder carries the construction state: the current block under
+// append, the break/continue target stack, and the label table.
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block
+	tgts []branchTarget
+	lbls map[string]*Block
+}
+
+// branchTarget is one enclosing breakable/continuable construct. cont is
+// nil for switch/select (continue skips them and binds to the loop).
+type branchTarget struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, lbls: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.link(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// labelBlock returns (creating on first use) the block a label names, so
+// forward gotos resolve.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.lbls[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.lbls[name] = blk
+	return blk
+}
+
+// findTarget resolves a break/continue to its target stack entry.
+func (b *cfgBuilder) findTarget(label string, cont bool) *Block {
+	for i := len(b.tgts) - 1; i >= 0; i-- {
+		t := b.tgts[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if cont {
+			if t.cont != nil {
+				return t.cont
+			}
+			if label != "" {
+				return nil // continue to a non-loop label: invalid Go
+			}
+			continue // unlabeled continue skips switch/select frames
+		}
+		return t.brk
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt builds one statement into the graph. label is the pending label
+// when the statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		head := b.labelBlock(s.Label.Name)
+		b.link(b.cur, head)
+		b.cur = head
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // anything after is unreachable
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			if t := b.findTarget(label, s.Tok == token.CONTINUE); t != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			b.link(b.cur, b.labelBlock(label))
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// The switch builder wires body[i] -> body[i+1]; nothing to do.
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.emit(s.Assign)
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	case nil:
+		// absent init/post
+
+	default:
+		// Assign, Expr, Send, IncDec, Decl, Go, Defer, Empty: straight-line.
+		b.emit(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.emit(s.Cond)
+	cond := b.cur
+	cond.Cond = s.Cond
+	then := b.newBlock()
+	join := b.newBlock()
+	b.link(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.link(b.cur, join)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.link(cond, els)
+		b.cur = els
+		b.stmt(s.Else, "")
+		b.link(b.cur, join)
+	} else {
+		b.link(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	head := b.newBlock()
+	post := b.newBlock()
+	after := b.newBlock()
+	b.link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.emit(s.Cond)
+		b.cur.Cond = s.Cond
+	}
+	bodyBlk := b.newBlock()
+	b.link(b.cur, bodyBlk)
+	if s.Cond != nil {
+		b.link(b.cur, after)
+	}
+	b.tgts = append(b.tgts, branchTarget{label: label, brk: after, cont: post})
+	b.cur = bodyBlk
+	b.stmtList(s.Body.List)
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.link(b.cur, post)
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post, "")
+	}
+	b.link(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	after := b.newBlock()
+	b.link(b.cur, head)
+	head.Nodes = append(head.Nodes, s) // header node: only X belongs here
+	b.link(head, after)                // a range may iterate zero times
+	bodyBlk := b.newBlock()
+	b.link(head, bodyBlk)
+	b.tgts = append(b.tgts, branchTarget{label: label, brk: after, cont: head})
+	b.cur = bodyBlk
+	b.stmtList(s.Body.List)
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.link(b.cur, head)
+	b.cur = after
+}
+
+// switchBody wires an expression or type switch: case expressions are
+// chained condition blocks (a path reaching case i's body has executed
+// cases 0..i's expressions), fallthrough links body i to body i+1, and
+// default's body is entered after every other case expression has run.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, _ *Block) {
+	join := b.newBlock()
+	b.tgts = append(b.tgts, branchTarget{label: label, brk: join})
+
+	var clauses []*ast.CaseClause
+	defaultIdx := -1
+	for _, s := range body.List {
+		cc := s.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultIdx = len(clauses)
+		}
+		clauses = append(clauses, cc)
+	}
+
+	// One body block per clause, built up front so fallthrough can link
+	// forward in source order.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+
+	// Chain the non-default case-expression blocks off the tag block.
+	prev := b.cur
+	for i, cc := range clauses {
+		if i == defaultIdx {
+			continue
+		}
+		condBlk := b.newBlock()
+		b.link(prev, condBlk)
+		for _, e := range cc.List {
+			condBlk.Nodes = append(condBlk.Nodes, e)
+		}
+		b.link(condBlk, bodies[i])
+		prev = condBlk
+	}
+	// After every case expression failed: default's body, or out.
+	if defaultIdx >= 0 {
+		b.link(prev, bodies[defaultIdx])
+	} else {
+		b.link(prev, join)
+	}
+
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(bodies) {
+				b.link(b.cur, bodies[i+1])
+				continue
+			}
+		}
+		b.link(b.cur, join)
+	}
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.cur = join
+}
+
+// selectStmt wires a select: the comm statement of each clause opens that
+// clause's first block (so a send/receive is visibly on every path through
+// its case), and every clause is a successor of the entry — the runtime
+// picks one.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	entry := b.cur
+	join := b.newBlock()
+	b.tgts = append(b.tgts, branchTarget{label: label, brk: join})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		clause := b.newBlock()
+		b.link(entry, clause)
+		b.cur = clause
+		if cc.Comm != nil {
+			b.stmt(cc.Comm, "")
+		}
+		b.stmtList(cc.Body)
+		b.link(b.cur, join)
+	}
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever; still give the graph a shape.
+		b.link(entry, join)
+	}
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.cur = join
+}
+
+// inspectBlockNode visits a block node the way the CFG means it: a
+// *ast.RangeStmt header contributes only its X operand, and function
+// literals are closed over, not executed, so their bodies are skipped
+// (analyzers that care about deferred closures look at DeferStmt nodes
+// directly).
+func inspectBlockNode(n ast.Node, f func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		n = r.X
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if !f(c) {
+			return false
+		}
+		if fl, ok := c.(*ast.FuncLit); ok && fl != n {
+			return false
+		}
+		return true
+	})
+}
+
+// exprKey renders an expression as stable source text — the identity the
+// flow analyzers use for a mutex or file ("s.mu", "g.mu", "f").
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The CFG invariants every analyzer leans on, checked structurally:
+//
+//  1. Blocks[i].Index == i, Entry and Exit are in Blocks.
+//  2. Every successor pointer is non-nil and in Blocks.
+//  3. Cond != nil implies exactly two successors (true edge, false edge).
+//  4. Every marker statement mN() generated into the source lands in
+//     exactly one block, exactly once (no node is lost or duplicated by
+//     the if/for/switch/select/label wiring).
+func checkCFGInvariants(t *testing.T, cfg *CFG, markers int, src string) {
+	t.Helper()
+	in := map[*Block]bool{}
+	for i, blk := range cfg.Blocks {
+		if blk.Index != i {
+			t.Fatalf("block %d has Index %d\n%s", i, blk.Index, src)
+		}
+		in[blk] = true
+	}
+	if !in[cfg.Entry] || !in[cfg.Exit] {
+		t.Fatalf("Entry/Exit not registered in Blocks\n%s", src)
+	}
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			if s == nil || !in[s] {
+				t.Fatalf("block %d has a successor outside the graph\n%s", blk.Index, src)
+			}
+		}
+		if blk.Cond != nil && len(blk.Succs) != 2 {
+			t.Fatalf("block %d has Cond but %d successors\n%s", blk.Index, len(blk.Succs), src)
+		}
+	}
+	seen := map[string]int{}
+	markerRe := regexp.MustCompile(`^m\d+$`)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			inspectBlockNode(n, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && markerRe.MatchString(id.Name) {
+						seen[id.Name]++
+					}
+				}
+				return true
+			})
+		}
+	}
+	for i := 0; i < markers; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if seen[name] != 1 {
+			t.Errorf("marker %s appears in %d block nodes, want exactly 1\n%s", name, seen[name], src)
+		}
+	}
+}
+
+func buildFrom(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "gen.go", src, 0)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" && fd.Body != nil {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no func f in generated source\n%s", src)
+	return nil
+}
+
+// genStmts appends depth-bounded pseudo-random control flow. Each marker
+// call mN() is written exactly once; loops counts enclosing for/range
+// statements so break/continue are only emitted where Go allows them.
+func genStmts(r *rand.Rand, depth, loops int, next *int, b *strings.Builder) {
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		kind := r.Intn(12)
+		if depth >= 3 && kind > 3 {
+			kind = 0 // bound nesting: bottom out on markers
+		}
+		switch kind {
+		case 0, 1, 2, 3:
+			fmt.Fprintf(b, "m%d()\n", *next)
+			*next++
+		case 4:
+			fmt.Fprintf(b, "if cond%d() {\n", r.Intn(3))
+			genStmts(r, depth+1, loops, next, b)
+			if r.Intn(2) == 0 {
+				b.WriteString("} else {\n")
+				genStmts(r, depth+1, loops, next, b)
+			}
+			b.WriteString("}\n")
+		case 5:
+			b.WriteString("for i := 0; i < 4; i++ {\n")
+			genStmts(r, depth+1, loops+1, next, b)
+			if r.Intn(2) == 0 {
+				b.WriteString("continue\n")
+			}
+			b.WriteString("}\n")
+		case 6:
+			b.WriteString("for {\n")
+			genStmts(r, depth+1, loops+1, next, b)
+			b.WriteString("break\n}\n")
+		case 7:
+			b.WriteString("switch v() {\ncase 1:\n")
+			genStmts(r, depth+1, loops, next, b)
+			b.WriteString("case 2, 3:\n")
+			genStmts(r, depth+1, loops, next, b)
+			if r.Intn(2) == 0 {
+				b.WriteString("default:\n")
+				genStmts(r, depth+1, loops, next, b)
+			}
+			b.WriteString("}\n")
+		case 8:
+			b.WriteString("select {\ncase <-ch:\n")
+			genStmts(r, depth+1, loops, next, b)
+			b.WriteString("case ch <- 1:\n")
+			genStmts(r, depth+1, loops, next, b)
+			if r.Intn(2) == 0 {
+				b.WriteString("default:\n")
+			}
+			b.WriteString("}\n")
+		case 9:
+			if loops > 0 {
+				if r.Intn(2) == 0 {
+					b.WriteString("break\n")
+				} else {
+					b.WriteString("continue\n")
+				}
+			} else {
+				b.WriteString("return\n")
+			}
+		case 10:
+			b.WriteString("defer fin()\n")
+		case 11:
+			b.WriteString("for range ch {\n")
+			genStmts(r, depth+1, loops+1, next, b)
+			b.WriteString("}\n")
+		}
+	}
+}
+
+// TestCFGRandomizedInvariants hammers BuildCFG with seeded-random nested
+// control flow (fixed seeds: the corpus is deterministic run to run).
+func TestCFGRandomizedInvariants(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		next := 0
+		genStmts(r, 0, 0, &next, &b)
+		src := "package p\n\nfunc f() {\n" + b.String() + "}\n"
+		checkCFGInvariants(t, buildFrom(t, src), next, src)
+	}
+}
+
+// TestCFGShapes pins a few structural facts the random generator cannot
+// assert: range headers, select clause openings, chained case expressions,
+// and unreachable-after-return isolation.
+func TestCFGShapes(t *testing.T) {
+	t.Run("return isolates the tail", func(t *testing.T) {
+		src := "package p\nfunc f() {\nm0()\nreturn\nm1()\n}\n"
+		cfg := buildFrom(t, src)
+		checkCFGInvariants(t, cfg, 2, src)
+		// m1's block must have no predecessors.
+		var m1 *Block
+		for _, blk := range cfg.Blocks {
+			for _, n := range blk.Nodes {
+				inspectBlockNode(n, func(c ast.Node) bool {
+					if id, ok := c.(*ast.Ident); ok && id.Name == "m1" {
+						m1 = blk
+					}
+					return true
+				})
+			}
+		}
+		if m1 == nil {
+			t.Fatal("m1 not placed in any block")
+		}
+		for _, blk := range cfg.Blocks {
+			for _, s := range blk.Succs {
+				if s == m1 {
+					t.Errorf("unreachable m1 block %d has predecessor %d", m1.Index, blk.Index)
+				}
+			}
+		}
+	})
+	t.Run("range appears as header node", func(t *testing.T) {
+		src := "package p\nfunc f() {\nfor x := range ch {\nm0()\n}\n}\n"
+		cfg := buildFrom(t, src)
+		checkCFGInvariants(t, cfg, 1, src)
+		found := false
+		for _, blk := range cfg.Blocks {
+			for _, n := range blk.Nodes {
+				if _, ok := n.(*ast.RangeStmt); ok {
+					found = true
+					if len(blk.Succs) < 2 {
+						t.Errorf("range header block has %d successors, want body and after", len(blk.Succs))
+					}
+				}
+			}
+		}
+		if !found {
+			t.Error("no block carries the RangeStmt header node")
+		}
+	})
+	t.Run("select comm opens its clause", func(t *testing.T) {
+		src := "package p\nfunc f() {\nselect {\ncase r := <-ch:\nuse(r)\ncase ch <- 1:\nm0()\n}\n}\n"
+		cfg := buildFrom(t, src)
+		checkCFGInvariants(t, cfg, 1, src)
+		sends := 0
+		for _, blk := range cfg.Blocks {
+			for i, n := range blk.Nodes {
+				if _, ok := n.(*ast.SendStmt); ok {
+					sends++
+					if i != 0 {
+						t.Errorf("comm send is node %d of its block, want 0 (clause opener)", i)
+					}
+				}
+			}
+		}
+		if sends != 1 {
+			t.Errorf("send statement placed %d times, want 1", sends)
+		}
+	})
+	t.Run("case expressions chain", func(t *testing.T) {
+		// A path into case b's body must have executed case a's expression:
+		// a's condition block is an ancestor of b's.
+		src := "package p\nfunc f() {\nswitch tag() {\ncase a():\nm0()\ncase b():\nm1()\n}\n}\n"
+		cfg := buildFrom(t, src)
+		checkCFGInvariants(t, cfg, 2, src)
+		blockWith := func(name string) *Block {
+			for _, blk := range cfg.Blocks {
+				for _, n := range blk.Nodes {
+					hit := false
+					inspectBlockNode(n, func(c ast.Node) bool {
+						if id, ok := c.(*ast.Ident); ok && id.Name == name {
+							hit = true
+						}
+						return true
+					})
+					if hit {
+						return blk
+					}
+				}
+			}
+			return nil
+		}
+		aBlk, bBlk := blockWith("a"), blockWith("b")
+		if aBlk == nil || bBlk == nil {
+			t.Fatal("case expressions not placed")
+		}
+		reach := map[*Block]bool{}
+		var dfs func(*Block)
+		dfs = func(blk *Block) {
+			if reach[blk] {
+				return
+			}
+			reach[blk] = true
+			for _, s := range blk.Succs {
+				dfs(s)
+			}
+		}
+		dfs(aBlk)
+		if !reach[bBlk] {
+			t.Error("case b's expression block is not downstream of case a's")
+		}
+	})
+}
+
+// FuzzBuildCFG feeds arbitrary function bodies through the builder: any
+// body that parses must produce a structurally sound graph, never panic.
+func FuzzBuildCFG(f *testing.F) {
+	for _, body := range []string{
+		"m0()",
+		"if a { m0() } else { m1() }",
+		"L:\nfor {\nif a {\nbreak L\n}\ncontinue\n}",
+		"goto done\nm0()\ndone:\nm1()",
+		"switch x {\ncase 1:\nm0()\nfallthrough\ncase 2:\nm1()\ndefault:\nm2()\n}",
+		"select {\ncase <-ch:\nm0()\ncase ch <- 1:\ndefault:\n}",
+		"for range ch {\ndefer m0()\n}",
+		"switch t := x.(type) {\ncase int:\n_ = t\ndefault:\n}",
+		"break",
+		"fallthrough",
+		"continue missing",
+		"goto missing",
+		"select {}",
+		"for {\nswitch x {\ncase 1:\ncontinue\n}\n}",
+	} {
+		f.Add(body)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cfg := BuildCFG(fd.Body)
+			in := map[*Block]bool{}
+			for i, blk := range cfg.Blocks {
+				if blk.Index != i {
+					t.Fatalf("block %d has Index %d", i, blk.Index)
+				}
+				in[blk] = true
+			}
+			if !in[cfg.Entry] || !in[cfg.Exit] {
+				t.Fatal("Entry/Exit not registered in Blocks")
+			}
+			for _, blk := range cfg.Blocks {
+				for _, s := range blk.Succs {
+					if s == nil || !in[s] {
+						t.Fatalf("block %d has a successor outside the graph", blk.Index)
+					}
+				}
+				if blk.Cond != nil && len(blk.Succs) != 2 {
+					t.Fatalf("block %d has Cond but %d successors", blk.Index, len(blk.Succs))
+				}
+			}
+		}
+	})
+}

@@ -14,6 +14,12 @@ var ctxflowScope = []string{
 	"skewvar/internal/core",
 	"skewvar/internal/sta",
 	"skewvar/internal/lp",
+	// The service layer's exported surface loops over journal appends and
+	// replica dispatches — slower per iteration than a kernel call, and
+	// just as much in need of a cancellation point (PR 8).
+	"skewvar/internal/serve",
+	"skewvar/internal/fleet",
+	"skewvar/internal/edaio/atomicio",
 }
 
 // kernelPrefixes name the expensive kernels by call-site spelling. A loop

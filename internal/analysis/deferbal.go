@@ -1,0 +1,546 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Deferbal checks that Lock/Unlock and open/Close pairs balance on every
+// CFG path: a mutex locked on some path and never unlocked, an Unlock
+// (explicit or deferred) with no matching Lock, a file opened and not
+// closed on some return, or closed twice — the Appender.Close double-sync
+// shape PR 7 fixed by hand. It walks concrete paths through the CFG,
+// carrying per-mutex balances (plus deferred-Unlock credits) and per-file
+// obligations, with fingerprint memoization so loops terminate and a
+// visit budget so a pathological function degrades to silence rather than
+// minutes.
+//
+// Conventions it understands:
+//
+//   - functions named *Locked are skipped entirely (they manage a lock
+//     the caller holds), and a *call* to one drops every tracked mutex on
+//     that path, for the same reason;
+//   - a file obligation starts at `f, err := os.Open(...)` (and Create /
+//     OpenFile / CreateTemp) but only binds on the success edge of the
+//     recognized `err != nil` / `err == nil` test — the error path holds
+//     no file. Any other use of that error untracks the file;
+//   - `defer f.Close()` satisfies the obligation; a deferred closure that
+//     mentions the file unbinds it (it owns the close, e.g. atomicio's
+//     conditional-close cleanup); returning the file, storing it in a
+//     composite literal or another variable, or taking its address
+//     transfers ownership and unbinds too.
+var deferbalScope = lockscopeScope
+
+// dbBudget bounds (block, state) expansions per function; past it the
+// function is skipped (documented limitation, not a finding).
+const dbBudget = 4000
+
+// Deferbal builds the pairing-balance analyzer.
+func Deferbal() *Analyzer {
+	return &Analyzer{
+		Name:    "deferbal",
+		Doc:     "Lock/Unlock and open/Close pairs must balance on every path",
+		InScope: pkgSet(deferbalScope...),
+		Run: func(p *Pkg) []Finding {
+			var out []Finding
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+						continue
+					}
+					out = append(out, (&deferbalRun{p: p}).checkFunc(fd)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+type deferbalRun struct {
+	p      *Pkg
+	budget int
+	seen   map[string]bool // finding dedupe across paths
+	out    []Finding
+}
+
+// lockBal is one mutex's state on one path.
+type lockBal struct {
+	bal      int
+	deferred int
+	pos      token.Pos // most recent Lock
+}
+
+// fileOb is one open file's state on one path.
+type fileOb struct {
+	errObj   types.Object // pending error check; nil once confirmed
+	closed   int
+	deferred bool
+	pos      token.Pos
+	name     string
+}
+
+// dbState is the whole path state. Maps are copied on branch. wild holds
+// mutex keys whose balance became unknowable on this path (a *Locked
+// callee may have unlocked or re-locked them): their later Unlocks are
+// neither findings nor credits.
+type dbState struct {
+	locks map[string]*lockBal
+	files map[types.Object]*fileOb
+	wild  map[string]bool
+}
+
+func (st *dbState) clone() *dbState {
+	c := &dbState{locks: map[string]*lockBal{}, files: map[types.Object]*fileOb{}, wild: map[string]bool{}}
+	for k, v := range st.locks {
+		lb := *v
+		c.locks[k] = &lb
+	}
+	for k, v := range st.files {
+		fo := *v
+		c.files[k] = &fo
+	}
+	for k := range st.wild {
+		c.wild[k] = true
+	}
+	return c
+}
+
+// fingerprint is a canonical rendering of the state for loop memoization.
+func (st *dbState) fingerprint() string {
+	var parts []string
+	for k, v := range st.locks {
+		parts = append(parts, fmt.Sprintf("L%s=%d/%d", k, v.bal, v.deferred))
+	}
+	for k, v := range st.files {
+		pending := "ok"
+		if v.errObj != nil {
+			pending = "pend"
+		}
+		parts = append(parts, fmt.Sprintf("F%s=%d/%v/%s", k.Name(), v.closed, v.deferred, pending))
+	}
+	for k := range st.wild {
+		parts = append(parts, "W"+k)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func (r *deferbalRun) report(n ast.Node, format string, args ...interface{}) {
+	f := r.p.finding("deferbal", n, format, args...)
+	id := fmt.Sprintf("%s:%d:%d|%s", f.File, f.Line, f.Col, f.Message)
+	if r.seen[id] {
+		return
+	}
+	r.seen[id] = true
+	r.out = append(r.out, f)
+}
+
+func (r *deferbalRun) reportAt(pos token.Pos, format string, args ...interface{}) {
+	p := r.p.Fset.Position(pos)
+	f := Finding{Analyzer: "deferbal", File: p.Filename, Line: p.Line, Col: p.Column,
+		Message: fmt.Sprintf(format, args...)}
+	id := fmt.Sprintf("%s:%d:%d|%s", f.File, f.Line, f.Col, f.Message)
+	if r.seen[id] {
+		return
+	}
+	r.seen[id] = true
+	r.out = append(r.out, f)
+}
+
+func (r *deferbalRun) checkFunc(fd *ast.FuncDecl) []Finding {
+	cfg := BuildCFG(fd.Body)
+	r.budget = dbBudget
+	r.seen = map[string]bool{}
+	r.out = nil
+	visited := map[string]bool{}
+	overflow := false
+
+	var walk func(b *Block, st *dbState)
+	walk = func(b *Block, st *dbState) {
+		if overflow {
+			return
+		}
+		key := fmt.Sprintf("%d|%s", b.Index, st.fingerprint())
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		if r.budget--; r.budget <= 0 {
+			overflow = true
+			return
+		}
+
+		for _, n := range b.Nodes {
+			r.node(b, n, st)
+		}
+
+		if b == cfg.Exit {
+			r.atExit(st)
+			return
+		}
+		if len(b.Succs) == 0 {
+			return
+		}
+		// Branch-sensitive edge handling for the recognized error test on
+		// a pending file obligation.
+		if b.Cond != nil && len(b.Succs) == 2 {
+			if obj, eqNil, ok := r.errTest(b.Cond, st); ok {
+				tSt, fSt := st.clone(), st.clone()
+				// err != nil: true edge is the failure path (no file);
+				// err == nil: true edge is the success path.
+				if eqNil {
+					confirmFile(tSt, obj)
+					dropFile(fSt, obj)
+				} else {
+					dropFile(tSt, obj)
+					confirmFile(fSt, obj)
+				}
+				walk(b.Succs[0], tSt)
+				walk(b.Succs[1], fSt)
+				return
+			}
+			if obj := r.condMentionsPending(b.Cond, st); obj != nil {
+				// Unrecognized shape over a pending error: untrack the file.
+				st = st.clone()
+				delete(st.files, findFileByErr(st, obj))
+			}
+		}
+		for _, s := range b.Succs {
+			walk(s, st.clone())
+		}
+	}
+	walk(cfg.Entry, &dbState{locks: map[string]*lockBal{}, files: map[types.Object]*fileOb{}, wild: map[string]bool{}})
+	if overflow {
+		return nil
+	}
+	return r.out
+}
+
+// errTest recognizes `err != nil` / `err == nil` over a pending file's
+// error object. Returns (errObj, whether the operator is ==, ok).
+func (r *deferbalRun) errTest(cond ast.Expr, st *dbState) (types.Object, bool, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if nid, ok := ast.Unparen(pair[1]).(*ast.Ident); !ok || nid.Name != "nil" {
+			continue
+		}
+		obj := r.p.Info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if findFileByErr(st, obj) != nil {
+			return obj, be.Op == token.EQL, true
+		}
+	}
+	return nil, false, false
+}
+
+// condMentionsPending reports a pending error object mentioned by an
+// unrecognized condition, nil if none.
+func (r *deferbalRun) condMentionsPending(cond ast.Expr, st *dbState) types.Object {
+	var hit types.Object
+	ast.Inspect(cond, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := r.p.Info.Uses[id]; obj != nil && findFileByErr(st, obj) != nil {
+				hit = obj
+				return false
+			}
+		}
+		return hit == nil
+	})
+	return hit
+}
+
+func findFileByErr(st *dbState, errObj types.Object) types.Object {
+	for fobj, fo := range st.files {
+		if fo.errObj == errObj {
+			return fobj
+		}
+	}
+	return nil
+}
+
+func confirmFile(st *dbState, errObj types.Object) {
+	if fobj := findFileByErr(st, errObj); fobj != nil {
+		st.files[fobj].errObj = nil
+	}
+}
+
+func dropFile(st *dbState, errObj types.Object) {
+	if fobj := findFileByErr(st, errObj); fobj != nil {
+		delete(st.files, fobj)
+	}
+}
+
+// node applies one block node's events to the state, reporting violations.
+func (r *deferbalRun) node(b *Block, n ast.Node, st *dbState) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		r.deferStmt(n, st)
+		return
+	case *ast.GoStmt:
+		// Ownership of anything a goroutine mentions leaves this path.
+		for obj := range st.files {
+			if usesObject(r.p, n, obj) {
+				delete(st.files, obj)
+			}
+		}
+		return
+	case *ast.AssignStmt:
+		if r.openAssign(n, st) {
+			return
+		}
+	}
+	if expr, ok := n.(ast.Expr); ok && b.Cond == expr {
+		// Branch conditions are interpreted at the edges, not as uses.
+		return
+	}
+
+	inspectBlockNode(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			r.call(c, st)
+		case *ast.Ident:
+			if obj := r.p.Info.Uses[c]; obj != nil {
+				if fobj := findFileByErr(st, obj); fobj != nil {
+					// The error is consumed some other way (returned,
+					// logged, reassigned): stop tracking the file.
+					delete(st.files, fobj)
+				}
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				if id, ok := ast.Unparen(c.X).(*ast.Ident); ok {
+					if obj := r.p.Info.Uses[id]; obj != nil {
+						delete(st.files, obj) // address taken: ownership unclear
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for obj := range st.files {
+				if usesObject(r.p, c, obj) {
+					delete(st.files, obj) // stored in a struct/slice: escaped
+				}
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range c.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if obj := r.p.Info.Uses[id]; obj != nil {
+						delete(st.files, obj) // returned to the caller
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// `y := f` (the file as a whole RHS expression) transfers ownership.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, rhs := range as.Rhs {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+				if obj := r.p.Info.Uses[id]; obj != nil {
+					delete(st.files, obj)
+				}
+			}
+		}
+	}
+}
+
+// call applies one call's lock/close events.
+func (r *deferbalRun) call(c *ast.CallExpr, st *dbState) {
+	if key, name, ok := r.p.mutexOpName(c); ok {
+		rKey := balKey(key, name)
+		switch name {
+		case "Lock", "RLock":
+			delete(st.wild, rKey) // a fresh Lock makes the balance known again
+			lb := st.locks[rKey]
+			if lb == nil {
+				lb = &lockBal{}
+				st.locks[rKey] = lb
+			}
+			lb.bal++
+			lb.pos = c.Pos()
+			if lb.bal > 3 {
+				delete(st.locks, rKey) // re-entrant beyond reason: untrack
+			}
+		case "Unlock", "RUnlock":
+			lb := st.locks[rKey]
+			if lb == nil || lb.bal <= 0 {
+				if st.wild[rKey] {
+					return // balance unknowable since a *Locked call: no verdict
+				}
+				r.report(c, "%s.%s without a matching %s on this path", key, name, lockName(name))
+				delete(st.locks, rKey)
+				return
+			}
+			lb.bal--
+		}
+		return
+	}
+	if fn := r.p.calleeObject(c); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == r.p.Path && strings.HasSuffix(fn.Name(), "Locked") {
+		// A *Locked callee may unlock (or re-lock) caller-held mutexes:
+		// every tracked balance becomes unknowable, and so does any
+		// later Unlock of those mutexes on this path.
+		for k := range st.locks {
+			st.wild[k] = true
+		}
+		st.locks = map[string]*lockBal{}
+		return
+	}
+	// Explicit f.Close() on a tracked file.
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if obj := r.p.objectOf(sel.X); obj != nil {
+			if fo := st.files[obj]; fo != nil {
+				fo.closed++
+				fo.errObj = nil // closing implies the open succeeded on this path
+				if fo.closed > 1 || (fo.closed >= 1 && fo.deferred) {
+					r.report(c, "%s closed twice on this path (the Appender.Close double-sync shape)", fo.name)
+				}
+			}
+		}
+	}
+}
+
+// deferStmt interprets a deferred call: Unlock credits the mutex at exit,
+// Close satisfies the file, a closure that mentions a tracked file owns it.
+func (r *deferbalRun) deferStmt(d *ast.DeferStmt, st *dbState) {
+	if key, name, ok := r.p.mutexOpName(d.Call); ok {
+		if name == "Unlock" || name == "RUnlock" {
+			rKey := balKey(key, name)
+			if st.wild[rKey] {
+				return // balance unknowable since a *Locked call
+			}
+			lb := st.locks[rKey]
+			if lb == nil {
+				lb = &lockBal{pos: d.Pos()}
+				st.locks[rKey] = lb
+			}
+			lb.deferred++
+		}
+		return
+	}
+	if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		for obj := range st.files {
+			if usesObject(r.p, fl.Body, obj) {
+				delete(st.files, obj) // the cleanup closure owns the file
+			}
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if obj := r.p.objectOf(sel.X); obj != nil {
+			if fo := st.files[obj]; fo != nil {
+				if fo.deferred || fo.closed > 0 {
+					r.report(d, "%s closed twice on this path (deferred Close over an existing Close)", fo.name)
+				}
+				fo.deferred = true
+			}
+		}
+	}
+}
+
+// openAssign recognizes `f, err := os.Open(...)` (Create, OpenFile,
+// CreateTemp) and starts a pending obligation. Reports true when the node
+// was consumed.
+func (r *deferbalRun) openAssign(as *ast.AssignStmt, st *dbState) bool {
+	if len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := r.p.calleeObject(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Open", "Create", "OpenFile", "CreateTemp":
+	default:
+		return false
+	}
+	if len(as.Lhs) < 1 {
+		return false
+	}
+	fid, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || fid.Name == "_" {
+		return true
+	}
+	fobj := r.p.objectOf(fid)
+	if fobj == nil {
+		return true
+	}
+	var errObj types.Object
+	if len(as.Lhs) >= 2 {
+		if eid, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok && eid.Name != "_" {
+			errObj = r.p.objectOf(eid)
+		}
+	}
+	st.files[fobj] = &fileOb{errObj: errObj, pos: as.Pos(), name: fid.Name}
+	return true
+}
+
+// atExit reports the per-path imbalances once a path reaches the exit.
+func (r *deferbalRun) atExit(st *dbState) {
+	for key, lb := range st.locks {
+		total := lb.bal - lb.deferred
+		switch {
+		case total > 0:
+			r.reportAt(lb.pos, "%s locked but not unlocked on some path to return", displayKey(key))
+		case total < 0:
+			r.reportAt(lb.pos, "%s unlocked more times than locked on some path (deferred Unlock over an explicit one?)", displayKey(key))
+		}
+	}
+	for _, fo := range st.files {
+		if fo.closed == 0 && !fo.deferred {
+			r.reportAt(fo.pos, "%s opened but not closed on some path to return", fo.name)
+		}
+	}
+}
+
+// balKey separates read- and write-side balances of an RWMutex.
+func balKey(key, opName string) string {
+	if opName == "RLock" || opName == "RUnlock" {
+		return key + "#r"
+	}
+	return key
+}
+
+func displayKey(key string) string {
+	return strings.TrimSuffix(key, "#r")
+}
+
+func lockName(unlockName string) string {
+	if unlockName == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// mutexOpName is mutexOp plus the concrete method name, for analyzers that
+// distinguish the read side of an RWMutex.
+func (p *Pkg) mutexOpName(call *ast.CallExpr) (key, name string, ok bool) {
+	fn := p.calleeObject(call)
+	if fn == nil {
+		return "", "", false
+	}
+	k, _, isOp := p.mutexOp(call)
+	if !isOp {
+		return "", "", false
+	}
+	return k, fn.Name(), true
+}

@@ -18,6 +18,13 @@ var detsourceScope = []string{
 	"skewvar/internal/lp",
 	"skewvar/internal/eco",
 	"skewvar/internal/fit",
+	// The service layer rides along as of PR 8: its job results must be as
+	// replayable as the kernels' (same design + seed + config ⇒ same
+	// artifacts), so wall-clock reads and racy selects need a sanction
+	// wherever they are load-bearing (timeouts, tickers, shutdown).
+	"skewvar/internal/serve",
+	"skewvar/internal/fleet",
+	"skewvar/internal/edaio/atomicio",
 }
 
 // randAllowed lists math/rand(/v2) functions that do NOT touch the global

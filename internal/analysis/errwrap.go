@@ -17,6 +17,12 @@ var errwrapScope = []string{
 	"skewvar/internal/lp",
 	"skewvar/internal/ctree",
 	"skewvar/internal/edaio",
+	// The service layer joined the taxonomy in PR 8: the daemon, the fleet
+	// coordinator, and the durable appender all hand errors to callers that
+	// classify them (HTTP status mapping, dispatch shedding, ack verdicts).
+	"skewvar/internal/serve",
+	"skewvar/internal/fleet",
+	"skewvar/internal/edaio/atomicio",
 }
 
 // Errwrap flags errors minted at the return sites of exported functions

@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockscope enforces: no blocking call on any path between a
+// sync.Mutex/RWMutex Lock and its Unlock. The service layer's latency and
+// liveness story depends on it — PR 7's throughput work moved the journal
+// append outside s.mu in admitValidated precisely because an fsync under
+// the server mutex serializes every admission behind the disk. This
+// analyzer makes that bug class a lint failure instead of a p99
+// regression.
+//
+// "Blocking" is a concrete set, not a judgment call: file and fsync I/O
+// (package os and *os.File methods), atomicio appends, channel sends and
+// receives (including range-over-channel and select without a default),
+// net/http round trips, io.Copy/ReadAll, time.Sleep, a configurable table
+// of module-internal journaled calls (DefaultBlocking), and — one level
+// deep — any same-package callee whose body directly contains one of the
+// above. Callees named *Locked are skipped everywhere: by convention they
+// manage a lock the caller holds (possibly releasing it), so the held set
+// is unknowable after the call and the analyzer drops it.
+
+// lockscopeScope is the service surface whose mutexes guard hot paths.
+var lockscopeScope = []string{
+	"skewvar/internal/serve",
+	"skewvar/internal/fleet",
+	"skewvar/internal/edaio/atomicio",
+}
+
+// atomicioPath: every exported call into this package implies at least a
+// buffered write and usually an fsync.
+const atomicioPath = "skewvar/internal/edaio/atomicio"
+
+// DefaultBlocking names module-internal functions that block on I/O or a
+// peer — journal replay/append entry points and whole-server operations —
+// keyed by import path. Like DefaultPools, the table is data: sanctioning
+// a new blocking entry point is a reviewable one-line change.
+var DefaultBlocking = map[string][]string{
+	"skewvar/internal/serve": {
+		"New",             // replays the journal from disk
+		"MarkStolen",      // appends steal records to a victim journal
+		"ReadJournalJobs", // reads a journal file
+		"Admit",           // journaled admission (fsync before return)
+		"AdoptFinished",   // journaled adoption
+		"Drain",           // waits out in-flight jobs
+		"Crash",           // blocks until worker quiescence
+		// append is journal.append: the body hides its atomicio call inside
+		// a retry closure, past the one-level summary's horizon, so the
+		// table carries what the summary cannot see. This entry is what
+		// turns re-inlining the append under s.mu (the shape PR 7 removed
+		// from admitValidated) back into a lint failure.
+		"append",
+	},
+}
+
+// osBlocking: package-level os functions and *os.File methods that hit
+// the filesystem.
+var osBlocking = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "MkdirAll": true, "Mkdir": true, "MkdirTemp": true,
+	"Stat": true, "ReadDir": true, "Truncate": true,
+	// *os.File methods
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Close": true, "Seek": true,
+}
+
+var httpBlocking = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true, "Do": true,
+}
+
+var ioBlocking = map[string]bool{
+	"Copy": true, "CopyN": true, "ReadAll": true, "ReadFull": true,
+	"WriteString": true,
+}
+
+// Lockscope builds the analyzer with a module-internal blocking table
+// (production: DefaultBlocking).
+func Lockscope(blocking map[string][]string) *Analyzer {
+	extra := map[string]map[string]bool{}
+	for path, names := range blocking {
+		set := map[string]bool{}
+		for _, n := range names {
+			set[n] = true
+		}
+		extra[path] = set
+	}
+	return &Analyzer{
+		Name:    "lockscope",
+		Doc:     "no blocking call (fsync, channel, network, sleep) while holding a mutex",
+		InScope: pkgSet(lockscopeScope...),
+		Run: func(p *Pkg) []Finding {
+			ls := &lockscopeRun{p: p, extra: extra,
+				decls: declIndex(p), summaries: map[*types.Func]string{}}
+			var out []Finding
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					out = append(out, ls.checkFunc(fd)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// declIndex maps each function object to its declaration, so one-level
+// callee summaries can find same-package bodies.
+func declIndex(p *Pkg) map[*types.Func]*ast.FuncDecl {
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd
+			}
+		}
+	}
+	return idx
+}
+
+type lockscopeRun struct {
+	p         *Pkg
+	extra     map[string]map[string]bool
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]string // memoized one-level blocking verdicts
+}
+
+// lsEvent is one lock-relevant occurrence inside a block node, in source
+// order.
+type lsEvent struct {
+	pos  token.Pos
+	kind int // lsLock, lsUnlock, lsClear, lsBlock
+	key  string
+	desc string
+}
+
+const (
+	lsLock = iota
+	lsUnlock
+	lsClear
+	lsBlock
+)
+
+// checkFunc runs the may-hold dataflow over one function's CFG and
+// reports blocking events that can execute with a lock held.
+func (ls *lockscopeRun) checkFunc(fd *ast.FuncDecl) []Finding {
+	cfg := BuildCFG(fd.Body)
+	nonBlocking := nonBlockingComms(fd.Body)
+
+	// Precompute each block's event list once.
+	events := make([][]lsEvent, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			events[b.Index] = append(events[b.Index], ls.nodeEvents(n, nonBlocking)...)
+		}
+		sort.SliceStable(events[b.Index], func(i, j int) bool {
+			return events[b.Index][i].pos < events[b.Index][j].pos
+		})
+	}
+
+	// Fixpoint: in[b] = union of out[preds]; held sets only grow under
+	// union, so iteration terminates.
+	in := make([]map[string]token.Pos, len(cfg.Blocks))
+	for i := range in {
+		in[i] = map[string]token.Pos{}
+	}
+	apply := func(state map[string]token.Pos, evs []lsEvent, report func(lsEvent, map[string]token.Pos)) map[string]token.Pos {
+		st := make(map[string]token.Pos, len(state))
+		for k, v := range state {
+			st[k] = v
+		}
+		for _, ev := range evs {
+			switch ev.kind {
+			case lsLock:
+				st[ev.key] = ev.pos
+			case lsUnlock:
+				delete(st, ev.key)
+			case lsClear:
+				st = map[string]token.Pos{}
+			case lsBlock:
+				if report != nil && len(st) > 0 {
+					report(ev, st)
+				}
+			}
+		}
+		return st
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			out := apply(in[b.Index], events[b.Index], nil)
+			for _, s := range b.Succs {
+				for k, v := range out {
+					if _, ok := in[s.Index][k]; !ok {
+						in[s.Index][k] = v
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Reporting pass over the settled states.
+	var out []Finding
+	seen := map[string]bool{}
+	for _, b := range cfg.Blocks {
+		apply(in[b.Index], events[b.Index], func(ev lsEvent, held map[string]token.Pos) {
+			keys := make([]string, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			k := keys[0]
+			pos := ls.p.Fset.Position(ev.pos)
+			msg := ls.p.Fset.Position(held[k])
+			id := pos.String() + "|" + ev.desc
+			if seen[id] {
+				return
+			}
+			seen[id] = true
+			out = append(out, Finding{
+				Analyzer: "lockscope",
+				File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: "blocking " + ev.desc + " while holding " + strings.Join(keys, ", ") +
+					" (locked at line " + itoa(msg.Line) + ")",
+			})
+		})
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// nonBlockingComms collects the comm statements of selects that have a
+// default clause: if no case is ready the default runs, so those sends and
+// receives never block.
+func nonBlockingComms(body *ast.BlockStmt) map[ast.Node]bool {
+	set := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					set[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// nodeEvents extracts the lock/unlock/blocking events of one block node in
+// source order. Defer and go statements contribute nothing: a deferred
+// unlock keeps the lock held to function exit (so blocking after it still
+// flags), and launching a goroutine never blocks the launcher.
+func (ls *lockscopeRun) nodeEvents(n ast.Node, nonBlocking map[ast.Node]bool) []lsEvent {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return nil
+	}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if t := ls.p.Info.TypeOf(r.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return []lsEvent{{pos: r.Pos(), kind: lsBlock, desc: "range over channel"}}
+			}
+		}
+		return nil
+	}
+	skipBlocking := nonBlocking[n]
+	var evs []lsEvent
+	inspectBlockNode(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.SendStmt:
+			if !skipBlocking {
+				evs = append(evs, lsEvent{pos: c.Arrow, kind: lsBlock, desc: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW && !skipBlocking {
+				evs = append(evs, lsEvent{pos: c.OpPos, kind: lsBlock, desc: "channel receive"})
+			}
+		case *ast.CallExpr:
+			if key, lock, ok := ls.p.mutexOp(c); ok {
+				kind := lsUnlock
+				if lock {
+					kind = lsLock
+				}
+				evs = append(evs, lsEvent{pos: c.Pos(), kind: kind, key: key})
+				return true
+			}
+			if fn := ls.p.calleeObject(c); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == ls.p.Path && strings.HasSuffix(fn.Name(), "Locked") {
+				evs = append(evs, lsEvent{pos: c.Pos(), kind: lsClear})
+				return true
+			}
+			if desc := ls.blockingCall(c); desc != "" {
+				evs = append(evs, lsEvent{pos: c.Pos(), kind: lsBlock, desc: desc})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// mutexOp classifies a call as Lock/RLock (lock=true) or Unlock/RUnlock
+// (lock=false) on a sync.Mutex or sync.RWMutex, returning the receiver
+// expression's source text as the lock's identity.
+func (p *Pkg) mutexOp(call *ast.CallExpr) (key string, lock, ok bool) {
+	fn := p.calleeObject(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return "", false, false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", false, false
+	}
+	if tn := named.Obj().Name(); tn != "Mutex" && tn != "RWMutex" {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	key = exprKey(p.Fset, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true, true
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// blockingCall classifies a call as blocking, returning a description or
+// "". sync.Cond.Wait is deliberately not blocking for this analyzer: it
+// atomically releases the mutex it waits on.
+func (ls *lockscopeRun) blockingCall(call *ast.CallExpr) string {
+	fn := ls.p.calleeObject(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "sync":
+		return "" // Cond.Wait releases the lock; WaitGroup.Wait is out of scope
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		if osBlocking[name] {
+			return "os." + name + " file I/O"
+		}
+	case "net/http":
+		if httpBlocking[name] {
+			return "net/http round trip (" + name + ")"
+		}
+	case "io":
+		if ioBlocking[name] {
+			return "io." + name
+		}
+	}
+	if pkg == atomicioPath && pkg != ls.p.Path {
+		return "atomicio." + name + " (journal append/fsync)"
+	}
+	if set := ls.extra[pkg]; set != nil && set[name] {
+		return name + " (journaled call, see DefaultBlocking)"
+	}
+	if pkg == ls.p.Path {
+		if why := ls.summary(fn); why != "" {
+			return "call to " + name + ", whose body " + why
+		}
+	}
+	return ""
+}
+
+// summary is the one-level interprocedural step: a same-package callee is
+// blocking if its body directly contains a blocking primitive. It does not
+// recurse — a two-deep call chain is invisible (documented limitation) —
+// and *Locked callees are skipped by the caller before it gets here.
+func (ls *lockscopeRun) summary(fn *types.Func) string {
+	if why, ok := ls.summaries[fn]; ok {
+		return why
+	}
+	ls.summaries[fn] = "" // cut self-recursion
+	fd := ls.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return ""
+	}
+	why := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			why = "sends on a channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				why = "receives from a channel"
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // has default: non-blocking
+				}
+			}
+			if len(n.Body.List) > 0 {
+				why = "blocks in a select"
+			}
+		case *ast.RangeStmt:
+			if t := ls.p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					why = "ranges over a channel"
+				}
+			}
+		case *ast.CallExpr:
+			cfn := ls.p.calleeObject(n)
+			if cfn != nil && cfn.Pkg() != nil && cfn.Pkg().Path() == ls.p.Path {
+				return true // one level only: do not recurse
+			}
+			if d := ls.blockingCall(n); d != "" {
+				why = "calls " + d
+			}
+		}
+		return true
+	})
+	ls.summaries[fn] = why
+	return why
+}

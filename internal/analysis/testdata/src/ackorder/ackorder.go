@@ -1,0 +1,151 @@
+// Package ackorder is golden-corpus input for the ackorder analyzer. The
+// test binds the handler table to every handleSubmit* function here and
+// the admitter list to "admit", mirroring how Suite binds
+// DefaultAckHandlers/DefaultAdmitters.
+package ackorder
+
+import (
+	"errors"
+	"net/http"
+)
+
+var (
+	errBusy      = errors.New("busy")
+	errAmbiguous = errors.New("ambiguous")
+)
+
+type server struct{}
+
+// admit stands in for the journaled admission: an id, or an error that
+// means the journal never durably recorded the job.
+func (s *server) admit(body []byte) (string, error) {
+	if len(body) == 0 {
+		return "", errBusy
+	}
+	return "id", nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.WriteHeader(status)
+}
+
+// handleSubmit is the canonical serve shape: admit, branch on the error,
+// 202 only in the default arm. Clean.
+func (s *server) handleSubmit(w http.ResponseWriter, body []byte) {
+	id, err := s.admit(body)
+	switch {
+	case errors.Is(err, errBusy):
+		writeJSON(w, http.StatusTooManyRequests, nil)
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, nil)
+	default:
+		writeJSON(w, http.StatusAccepted, id)
+	}
+}
+
+// handleSubmitEarlyAck acks before admission ever runs: a crash after the
+// response loses a job the client was told is safe.
+func (s *server) handleSubmitEarlyAck(w http.ResponseWriter, body []byte) {
+	writeJSON(w, http.StatusAccepted, "id") // want "without a journaled admission"
+	if _, err := s.admit(body); err != nil {
+		writeJSON(w, http.StatusInternalServerError, nil)
+	}
+}
+
+// handleSubmitSkippable has a branch that routes around admission.
+func (s *server) handleSubmitSkippable(w http.ResponseWriter, body []byte, cached bool) {
+	var id string
+	if !cached {
+		var err error
+		id, err = s.admit(body)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, nil)
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, id) // want "without a journaled admission"
+}
+
+// handleSubmitUnchecked admits but acks before looking at the error.
+func (s *server) handleSubmitUnchecked(w http.ResponseWriter, body []byte) {
+	id, err := s.admit(body)
+	writeJSON(w, http.StatusAccepted, id) // want "never checks the admission error"
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, nil)
+	}
+}
+
+// handleSubmitDiscard throws the admission error away entirely.
+func (s *server) handleSubmitDiscard(w http.ResponseWriter, body []byte) {
+	id, _ := s.admit(body) // want "error is discarded"
+	writeJSON(w, http.StatusAccepted, id)
+}
+
+// handleSubmitParked is the fleet contract for the ambiguous-ack window:
+// park the assignment and answer 503, never 202. Clean.
+func (s *server) handleSubmitParked(w http.ResponseWriter, body []byte) {
+	id, err := s.admit(body)
+	switch {
+	case errors.Is(err, errAmbiguous):
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+	case err != nil:
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+	default:
+		writeJSON(w, http.StatusAccepted, id)
+	}
+}
+
+// handleSubmitAckAmbiguous is the forbidden twin: 202 on the ambiguous
+// branch acks a job that may not be durably admitted anywhere.
+func (s *server) handleSubmitAckAmbiguous(w http.ResponseWriter, body []byte) {
+	id, err := s.admit(body)
+	switch {
+	case errors.Is(err, errAmbiguous):
+		writeJSON(w, http.StatusAccepted, id) // want "admission-error branch"
+	case err != nil:
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+	default:
+		writeJSON(w, http.StatusAccepted, id)
+	}
+}
+
+// handleSubmitIfErrAck: the if-statement variant of the same mistake.
+func (s *server) handleSubmitIfErrAck(w http.ResponseWriter, body []byte) {
+	_, err := s.admit(body)
+	if err != nil {
+		w.WriteHeader(http.StatusAccepted) // want "admission-error branch"
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleSubmitRaw writes the header directly — the 2xx detection is about
+// the constant, not the helper. Clean.
+func (s *server) handleSubmitRaw(w http.ResponseWriter, body []byte) {
+	_, err := s.admit(body)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(202)
+}
+
+// handleSubmitRawBad is its unchecked twin using a bare literal.
+func (s *server) handleSubmitRawBad(w http.ResponseWriter, body []byte) {
+	_, err := s.admit(body)
+	w.WriteHeader(202) // want "never checks the admission error"
+	if err != nil {
+		return
+	}
+}
+
+// handleSubmitGuardedEarly: an early error return fully guards the ack.
+// Clean — the err != nil use kills every unchecked path.
+func (s *server) handleSubmitGuardedEarly(w http.ResponseWriter, body []byte) {
+	id, err := s.admit(body)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, nil)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, id)
+}

@@ -1,0 +1,204 @@
+// Package deferbal is golden-corpus input for the deferbal analyzer:
+// Lock/Unlock and open/Close pairing over every CFG path, including the
+// conventions it must not flag (the *Locked clobber, deferred cleanup
+// closures, ownership transfer).
+package deferbal
+
+import (
+	"os"
+	"sync"
+)
+
+type guard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// lockLeak holds the mutex past the early return.
+func (g *guard) lockLeak(abort bool) {
+	g.mu.Lock() // want "locked but not unlocked on some path"
+	g.n++
+	if abort {
+		return
+	}
+	g.mu.Unlock()
+}
+
+// doubleUnlock releases once by defer and once explicitly.
+func (g *guard) doubleUnlock() {
+	g.mu.Lock() // want "unlocked more times than locked"
+	defer g.mu.Unlock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// unlockOnly releases a mutex this function never acquired.
+func (g *guard) unlockOnly() {
+	g.mu.Unlock() // want "without a matching Lock"
+}
+
+// balanced: the canonical defer pairing survives the early return.
+func (g *guard) balanced(abort bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if abort {
+		return
+	}
+	g.n++
+}
+
+// relock: sequential critical sections balance independently.
+func (g *guard) relock() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Lock()
+	g.n--
+	g.mu.Unlock()
+}
+
+// loopBalanced: a balanced pair inside a loop reaches a fixpoint, not a
+// finding.
+func (g *guard) loopBalanced(rounds int) {
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// declareDeadLocked follows the *Locked convention: deferbal skips its
+// body, and a call to it clobbers the caller's tracked balances (it may
+// unlock or re-lock on the caller's behalf).
+func (g *guard) declareDeadLocked() {
+	g.n = 0
+}
+
+func (g *guard) tick() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.declareDeadLocked()
+	g.n++
+}
+
+// rwReadLeak: the read side of an RWMutex is tracked separately and leaks
+// here on the abort path.
+func (g *guard) rwReadLeak(abort bool) int {
+	g.rw.RLock() // want "locked but not unlocked on some path"
+	v := g.n
+	if abort {
+		return v
+	}
+	g.rw.RUnlock()
+	return v
+}
+
+// rwUpgrade: read then write critical sections, each balanced.
+func (g *guard) rwUpgrade() {
+	g.rw.RLock()
+	v := g.n
+	g.rw.RUnlock()
+	g.rw.Lock()
+	g.n = v + 1
+	g.rw.Unlock()
+}
+
+// readAll is the canonical file shape: obligation binds on the success
+// edge of the err check, deferred Close satisfies it everywhere.
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// leakOnError opens, reads, and returns without ever closing.
+func leakOnError(path string) (int, error) {
+	f, err := os.Open(path) // want "opened but not closed on some path"
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 16)
+	n, rerr := f.Read(buf)
+	return n, rerr
+}
+
+// closeTwice: two explicit closes on one path.
+func closeTwice(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return f.Close() // want "closed twice on this path"
+}
+
+// deferThenClose: a deferred Close plus an explicit one is exactly the
+// Appender.Close double-sync shape — pick one convention per function.
+func deferThenClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, werr := f.WriteString("x"); werr != nil {
+		return werr
+	}
+	return f.Close() // want "closed twice on this path"
+}
+
+// openHolder transfers the file into a struct: the caller owns the close.
+type holder struct{ f *os.File }
+
+func openHolder(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// writeCarefully: the deferred cleanup closure owns the error-path close
+// (atomicio's conditional-close shape), so the path state lets it go.
+func writeCarefully(path string) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	if _, err = f.WriteString("payload"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// openForCaller returns the open file: ownership moves to the caller.
+func openForCaller(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// handOff gives the file to a goroutine: ownership leaves this path.
+func handOff(path string, sink chan *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	go func() { sink <- f }()
+	return nil
+}

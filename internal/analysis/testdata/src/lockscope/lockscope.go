@@ -1,0 +1,217 @@
+// Package lockscope is golden-corpus input for the lockscope analyzer.
+// The test binds the module-internal blocking table to journaledCall in
+// this package, mirroring how Suite binds DefaultBlocking.
+package lockscope
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type record struct{ kind string }
+
+// sink is an opaque stand-in for an *os.File so the corpus exercises the
+// same-package summary without needing real file descriptors.
+type journal struct {
+	mu   sync.Mutex
+	line chan []byte
+	seq  int
+}
+
+// append mirrors serve's journal append: it blocks (a channel send stands
+// in for the write+fsync), so the one-level summary marks it blocking.
+func (j *journal) append(ctx context.Context, r record) error {
+	j.line <- []byte(r.kind)
+	return nil
+}
+
+type server struct {
+	mu   sync.Mutex
+	jobs map[string]record
+	jl   *journal
+}
+
+// badAdmit re-inlines the journal append under s.mu — the exact shape the
+// PR-7 fix removed from serve.admitValidated, and the acceptance case for
+// this analyzer.
+func (s *server) badAdmit(ctx context.Context, id string, r record) error {
+	s.mu.Lock()
+	s.jobs[id] = r
+	err := s.jl.append(ctx, r) // want "blocking call to append"
+	s.mu.Unlock()
+	return err
+}
+
+// goodAdmit is the fixed shape: register under the lock, append outside
+// it, withdraw under the lock on failure.
+func (s *server) goodAdmit(ctx context.Context, id string, r record) error {
+	s.mu.Lock()
+	s.jobs[id] = r
+	s.mu.Unlock()
+	if err := s.jl.append(ctx, r); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// sleepUnderLock: the most literal violation.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep"
+	s.mu.Unlock()
+}
+
+// deferredUnlockStillHolds: a deferred Unlock keeps the mutex held to the
+// end of the function, so blocking after it still flags.
+func (s *server) deferredUnlockStillHolds() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep"
+}
+
+// partialUnlock: held on the slow path, so the sleep is a may-hold hit.
+func (s *server) partialUnlock(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep"
+	if !fast {
+		s.mu.Unlock()
+	}
+}
+
+// sendUnderLock / receiveUnderLock: channel ops park the goroutine.
+func (s *server) sendUnderLock(ch chan record, r record) {
+	s.mu.Lock()
+	ch <- r // want "blocking channel send"
+	s.mu.Unlock()
+}
+
+func (s *server) receiveUnderLock(ch chan record) record {
+	s.mu.Lock()
+	r := <-ch // want "blocking channel receive"
+	s.mu.Unlock()
+	return r
+}
+
+// rangeUnderLock: range over a channel is a receive per iteration.
+func (s *server) rangeUnderLock(ch chan record) {
+	s.mu.Lock()
+	for r := range ch { // want "blocking range over channel"
+		s.jobs[r.kind] = r
+	}
+	s.mu.Unlock()
+}
+
+// selectUnderLock: no default, so whichever case wins had to block first.
+func (s *server) selectUnderLock(a, b chan record) {
+	s.mu.Lock()
+	select {
+	case r := <-a: // want "blocking channel receive"
+		s.jobs[r.kind] = r
+	case b <- record{}: // want "blocking channel send"
+	}
+	s.mu.Unlock()
+}
+
+// selectWithDefault never blocks: the default runs when no case is ready.
+func (s *server) selectWithDefault(a chan record) {
+	s.mu.Lock()
+	select {
+	case r := <-a:
+		s.jobs[r.kind] = r
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// fetchUnderLock: a network round trip under the mutex.
+func (s *server) fetchUnderLock(url string) {
+	s.mu.Lock()
+	resp, err := http.Get(url) // want "blocking net/http round trip"
+	if err == nil {
+		resp.Body.Close()
+	}
+	s.mu.Unlock()
+}
+
+// journaledCall is listed in the test's blocking table (the
+// DefaultBlocking mechanism).
+func journaledCall() {}
+
+func (s *server) tableBlocked() {
+	s.mu.Lock()
+	journaledCall() // want "journaled call"
+	s.mu.Unlock()
+}
+
+// flushLocked follows the *Locked convention: it manages a lock the
+// caller holds (here it releases it), so calls to it drop the held set.
+func (s *server) flushLocked() {
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// lockedConvention: after flushLocked the held set is unknown, so the
+// sleep stays clean — the convention, not the analyzer, owns that risk.
+func (s *server) lockedConvention() {
+	s.mu.Lock()
+	s.flushLocked()
+	time.Sleep(time.Millisecond)
+}
+
+// condWait is clean: sync.Cond.Wait atomically releases the mutex while
+// parked, which is the sanctioned way to block with a lock "held".
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (p *pool) condWait() {
+	p.mu.Lock()
+	for p.n == 0 {
+		p.cond.Wait()
+	}
+	p.n--
+	p.mu.Unlock()
+}
+
+// launchUnderLock: starting a goroutine never blocks the launcher (what
+// the goroutine does is poolbound's business, not lockscope's).
+func (s *server) launchUnderLock(ch chan record) {
+	s.mu.Lock()
+	go func() {
+		ch <- record{}
+	}()
+	s.mu.Unlock()
+}
+
+// readSideBlocks: RLock holds the read side; blocking there still stalls
+// writers trying to acquire.
+type cache struct {
+	rw   sync.RWMutex
+	vals map[string]string
+}
+
+func (c *cache) readSideBlocks(ch chan string) {
+	c.rw.RLock()
+	v := <-ch // want "blocking channel receive"
+	_ = c.vals[v]
+	c.rw.RUnlock()
+}
+
+// unlockedIsFine: the same primitives outside any critical section.
+func (s *server) unlockedIsFine(ch chan record) {
+	time.Sleep(time.Millisecond)
+	ch <- record{}
+	s.mu.Lock()
+	s.jobs["x"] = record{}
+	s.mu.Unlock()
+}

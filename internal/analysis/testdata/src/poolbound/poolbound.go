@@ -70,3 +70,27 @@ func startMonitor(tick func() bool) <-chan struct{} {
 func retrySteal(steal func()) {
 	go steal() // want "go statement outside the sanctioned worker pools"
 }
+
+// runClients is the fourth sanctioned launch site (a bounded
+// load-generator client pool, like skewload's runClients): cmd/ binaries
+// get their pools sanctioned through the same allowlist as internal
+// packages.
+func runClients(clients int, drive func(id int)) {
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			drive(id)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// FireHose launches per-request goroutines next to the client pool: the
+// load generator's sanction covers runClients only.
+func FireHose(requests int, send func()) {
+	for i := 0; i < requests; i++ {
+		go send() // want "go statement outside the sanctioned worker pools"
+	}
+}

@@ -2,9 +2,16 @@ package atomicio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 )
+
+// ErrLineBreak reports an AppendLine input containing a newline — the one
+// malformed input the appenders reject outright, since writing it would
+// silently split one record into two. Both Appender and GroupAppender
+// wrap it, so journal writers classify the rejection with errors.Is.
+var ErrLineBreak = errors.New("journal line contains a newline")
 
 // Appender is the crash-safe append-only line writer behind the skewd job
 // journal. Every AppendLine is written as one write call and fsynced
@@ -98,7 +105,7 @@ func healTornTail(f *os.File) (int64, error) {
 // or not at all from the next reader's point of view.
 func (a *Appender) AppendLine(line []byte) error {
 	if bytes.IndexByte(line, '\n') >= 0 {
-		return fmt.Errorf("edaio: journal line contains a newline")
+		return fmt.Errorf("edaio: %w", ErrLineBreak)
 	}
 	buf := make([]byte, 0, len(line)+1)
 	buf = append(buf, line...)

@@ -140,7 +140,7 @@ func OpenGroupAppender(path string, opts GroupOptions) (*GroupAppender, error) {
 // failed. Safe for concurrent use; concurrent callers share fsyncs.
 func (g *GroupAppender) AppendLine(line []byte) error {
 	if bytes.IndexByte(line, '\n') >= 0 {
-		return fmt.Errorf("edaio: journal line contains a newline")
+		return fmt.Errorf("edaio: %w", ErrLineBreak)
 	}
 	buf := make([]byte, 0, len(line)+1)
 	buf = append(buf, line...)
@@ -246,12 +246,16 @@ func (g *GroupAppender) flushLoopLocked() {
 			// tail; re-truncate before the next write. Offset is unmoved.
 			g.needTrunc = true
 		}
+		// Each pending line's ack channel is buffered (cap 1) and receives
+		// exactly one verdict, so these sends cannot block the leader.
 		for _, p := range batch {
+			//lint:ignore lockscope ack channels are cap-1 with one send ever; never blocks
 			p.ch <- err
 		}
 		if g.dead != nil {
 			// A dead appender acknowledges nothing more: fail the queue.
 			for _, p := range g.pending {
+				//lint:ignore lockscope ack channels are cap-1 with one send ever; never blocks
 				p.ch <- g.dead
 			}
 			g.pending = nil
@@ -363,6 +367,7 @@ func (g *GroupAppender) Kill() {
 		g.dead = ErrAppenderDead
 	}
 	for _, p := range g.pending {
+		//lint:ignore lockscope ack channels are cap-1 with one send ever; never blocks
 		p.ch <- g.dead
 	}
 	g.pending = nil

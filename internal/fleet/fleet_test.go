@@ -516,7 +516,7 @@ func TestRebuildCompletesOrphanSteal(t *testing.T) {
 	srv.Crash() // no workers started; journal holds a pending submit
 
 	// Mark it stolen by r1 — but "crash" before r1 ever hears of it.
-	if err := serve.MarkStolen(r0, "r1", []string{"j000001"}); err != nil {
+	if err := serve.MarkStolen(context.Background(), r0, "r1", []string{"j000001"}); err != nil {
 		t.Fatal(err)
 	}
 

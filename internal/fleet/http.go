@@ -166,7 +166,11 @@ func (c *Cluster) handleCrash(w http.ResponseWriter, r *http.Request) {
 func (c *Cluster) handleRestart(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("replica")
 	if err := c.RestartReplica(name); err != nil {
-		writeError(w, http.StatusConflict, "", "%v", err)
+		code := http.StatusConflict // wrong state: retryable once it settles
+		if errors.Is(err, ErrNoSuchReplica) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"replica": name, "state": "alive"})

@@ -24,6 +24,11 @@ import (
 // replica on the ring without penalizing this one's circuit breaker.
 var ErrBusy = errors.New("queue full")
 
+// ErrNotReady reports an admission attempted against a server that is
+// draining or crashed. Unlike ErrBusy it is not backpressure — retrying
+// the same replica is pointless; callers reroute or fail the dispatch.
+var ErrNotReady = errors.New("server not ready")
+
 // StartWorkers launches only the job worker pool, without an HTTP
 // listener. Fleet replicas run this way: the coordinator is their only
 // client, over the in-process transport.
@@ -81,7 +86,7 @@ func (s *Server) Admit(ctx context.Context, id string, spec []byte) (JobStatus, 
 		return JobStatus{}, fmt.Errorf("serve: Admit requires a job id: %w", resilience.ErrInvalidDesign)
 	}
 	if !s.Ready() {
-		return JobStatus{}, fmt.Errorf("serve: not ready (draining or crashed)")
+		return JobStatus{}, fmt.Errorf("serve: not ready (draining or crashed): %w", ErrNotReady)
 	}
 	// Fast idempotency path: a known id never re-validates (its spec was
 	// validated when first admitted, possibly by another replica). An id
@@ -127,32 +132,69 @@ func (s *Server) AdoptFinished(ctx context.Context, id string, spec []byte, st J
 	switch st.State {
 	case StateDone, StateFailed, StateCanceled:
 	default:
-		return fmt.Errorf("serve: AdoptFinished: state %q is not terminal", st.State)
+		return fmt.Errorf("serve: AdoptFinished: state %q is not terminal: %w",
+			st.State, resilience.ErrInvalidDesign)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.jobs[id]; ok {
-		return nil
+	if j, ok := s.jobs[id]; ok {
+		ch := j.admitted
+		s.mu.Unlock()
+		if ch == nil {
+			return nil
+		}
+		// A concurrent admission or adoption of this id is mid-journal:
+		// wait for its durability verdict rather than reporting an
+		// adoption whose records might still vanish in a crash.
+		<-ch
+		s.mu.Lock()
+		_, ok := s.jobs[id]
+		s.mu.Unlock()
+		if ok {
+			return nil
+		}
+		return fmt.Errorf("serve: adopting job %s: concurrent admission failed: %w",
+			id, resilience.ErrCheckpoint)
 	}
-	if err := s.jl.append(ctx, record{Kind: recSubmit, Job: id, Spec: spec}); err != nil {
-		s.counter("serve.journal.write_failures").Add(1)
-		return err
-	}
-	if err := s.jl.append(ctx, record{Kind: recFinish, Job: id, State: st.State,
-		Class: st.Class, Error: st.Error, Degraded: st.Degraded, Faults: st.Faults}); err != nil {
-		// The submit landed but the finish did not: after a crash the job
-		// replays as pending and re-runs — deterministic flows make that a
-		// duplicate effort, never a divergent result.
-		s.counter("serve.journal.write_failures").Add(1)
-		return err
-	}
+	// Reserve the id, then journal outside s.mu — the admitValidated
+	// discipline: two fsyncs under the server mutex would serialize every
+	// admission behind this adoption's disk latency. The placeholder's
+	// admitted channel parks a concurrent admission of the same id until
+	// the adoption's durability verdict is in.
 	j := &job{id: id, raw: append([]byte(nil), spec...), state: st.State, attempts: st.Attempts,
-		class: st.Class, errMsg: st.Error, degraded: st.Degraded, faults: st.Faults}
+		class: st.Class, errMsg: st.Error, degraded: st.Degraded, faults: st.Faults,
+		admitted: make(chan struct{})}
 	if err := json.Unmarshal(spec, &j.req); err != nil {
 		s.logf("adopt: job %s has undecodable spec: %v", id, err)
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	err := s.jl.append(ctx, record{Kind: recSubmit, Job: id, Spec: spec})
+	if err == nil {
+		// A landed submit with a failed finish is safe: after a crash the
+		// job replays as pending and re-runs — deterministic flows make
+		// that a duplicate effort, never a divergent result.
+		err = s.jl.append(ctx, record{Kind: recFinish, Job: id, State: st.State,
+			Class: st.Class, Error: st.Error, Degraded: st.Degraded, Faults: st.Faults})
+	}
+
+	s.mu.Lock()
+	close(j.admitted)
+	j.admitted = nil
+	if err != nil {
+		delete(s.jobs, id)
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		s.counter("serve.journal.write_failures").Add(1)
+		return err
+	}
+	s.mu.Unlock()
 	s.counter("serve.jobs.adopted").Add(1)
 	return nil
 }
@@ -214,8 +256,11 @@ func ReadJournalJobs(spoolDir string) ([]JournalJob, error) {
 // quiescent): the journal is append-only single-writer, and fencing is
 // what guarantees the dead replica's appender is silent. A torn final
 // line from the crash is healed before the steal records land. Marking a
-// job twice is harmless — reduction keeps the last thief.
-func MarkStolen(spoolDir, thief string, ids []string) error {
+// job twice is harmless — reduction keeps the last thief. The context
+// bounds the fsync-with-retry loop per record: canceling it abandons the
+// remaining marks, which a later steal pass (or a coordinator restart's
+// journal rebuild) re-issues.
+func MarkStolen(ctx context.Context, spoolDir, thief string, ids []string) error {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -227,7 +272,7 @@ func MarkStolen(spoolDir, thief string, ids []string) error {
 	}
 	defer jl.Close()
 	for _, id := range ids {
-		if err := jl.append(context.Background(), record{Kind: recSteal, Job: id, Thief: thief}); err != nil {
+		if err := jl.append(ctx, record{Kind: recSteal, Job: id, Thief: thief}); err != nil {
 			return err
 		}
 	}

@@ -281,7 +281,7 @@ func TestGroupCommitStealAfterFlushCrash(t *testing.T) {
 	}
 	s.Crash()
 
-	if err := MarkStolen(spool, "r7", []string{"j000301"}); err != nil {
+	if err := MarkStolen(context.Background(), spool, "r7", []string{"j000301"}); err != nil {
 		t.Fatalf("MarkStolen over a torn journal: %v", err)
 	}
 	jobs, err := ReadJournalJobs(spool)

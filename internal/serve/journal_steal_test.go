@@ -203,10 +203,10 @@ func TestMarkStolenIdempotentAndReplay(t *testing.T) {
 	}
 	s.Crash() // fence: no appender may be live while a peer marks the journal
 
-	if err := MarkStolen(spool, "r1", []string{"j000001"}); err != nil {
+	if err := MarkStolen(context.Background(), spool, "r1", []string{"j000001"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := MarkStolen(spool, "r1", []string{"j000001"}); err != nil {
+	if err := MarkStolen(context.Background(), spool, "r1", []string{"j000001"}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -37,6 +37,10 @@ func (wallClockNS) Now() int64 { return int64(time.Since(limiterEpoch)) }
 
 // limiterEpoch anchors the default clock so readings ride Go's monotonic
 // clock (immune to wall-clock steps), mirroring obs's internal wall clock.
+// Rate limiting is admission policy, not job computation — the replay
+// surface (same design+seed+config ⇒ same artifacts) is untouched by when
+// tokens refill, and deterministic tests inject a FakeClock instead.
+//lint:ignore detsource epoch anchor for the default clock; job results never read it
 var limiterEpoch = time.Now()
 
 // newTenantLimiter builds a limiter admitting rate jobs/second with the

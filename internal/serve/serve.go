@@ -97,6 +97,13 @@ type Config struct {
 	RateBurst     int
 	RateClock     obs.Clock
 
+	// Clock times job execution (the serve.job.duration_ns histogram) and
+	// drain-budget polling (nil = process-monotonic wall clock). Injected
+	// so tests can pin latency readings; it is deliberately separate from
+	// RateClock — advancing a fake admission clock must not distort job
+	// duration metrics.
+	Clock obs.Clock
+
 	Tech  *tech.Tech      // base technology designs are validated against
 	Char  *lut.Char       // characterized LUTs for the global stage
 	Model core.StageModel // stage model shared read-only across jobs
@@ -155,6 +162,9 @@ func (c *Config) setDefaults() error {
 	if c.RetrySeed == 0 {
 		c.RetrySeed = 1
 	}
+	if c.Clock == nil {
+		c.Clock = wallClockNS{}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
@@ -212,7 +222,8 @@ type job struct {
 	// admitted, when non-nil, is closed once the job's submit record is
 	// durable (or admission failed and the job was withdrawn — absence
 	// from the job table after the close is how waiters tell). Replayed
-	// and adopted jobs are durable by construction and leave it nil.
+	// jobs are durable by construction and leave it nil; admitted and
+	// adopted jobs carry it while their records are journaling.
 	// Idempotent re-admissions block on it so no caller is ever told
 	// about a job whose submit has not yet been fsynced.
 	admitted chan struct{}
@@ -355,7 +366,7 @@ func (s *Server) Drain() bool {
 // waitWorkers polls until every worker goroutine has exited or the budget
 // elapses.
 func (s *Server) waitWorkers(budget time.Duration) bool {
-	deadline := time.Now().Add(budget)
+	deadline := s.cfg.Clock.Now() + budget.Nanoseconds()
 	for {
 		s.mu.Lock()
 		n := s.active
@@ -363,7 +374,7 @@ func (s *Server) waitWorkers(budget time.Duration) bool {
 		if n == 0 {
 			return true
 		}
-		if !time.Now().Before(deadline) {
+		if s.cfg.Clock.Now() >= deadline {
 			return false
 		}
 		time.Sleep(2 * time.Millisecond)
