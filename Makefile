@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet lint lint-new lint-fix-report cover build test race serve-e2e fleet-e2e load-e2e bench fuzz help
+.PHONY: tier1 vet lint lint-new lint-fix-report cover build test race serve-e2e fleet-e2e load-e2e bench bench-gate fuzz help
 
-tier1: lint cover build test race serve-e2e fleet-e2e load-e2e
+tier1: lint cover build test race serve-e2e fleet-e2e load-e2e bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -62,9 +62,12 @@ race:
 # skewd end-to-end: submit, kill -9 mid-job, restart, verify the resumed
 # output is byte-identical to an uninterrupted run; plus the fault matrix
 # (dead journal -> 500, worker panic -> isolated failure, wedged job ->
-# deadline cancel) and the SIGTERM backpressure/drain/resume cycle.
+# deadline cancel) and the SIGTERM backpressure/drain/resume cycle; plus
+# the warm-net-cache cycle (resubmit -> zero misses + identical bytes,
+# restart -> cold cache + identical bytes).
 serve-e2e:
 	$(GO) test -run 'TestSkewd' -count=1 -v ./internal/clitest/
+	$(GO) test -run 'TestNetCacheCrossJobReuse' -count=1 -v ./internal/serve/
 
 # skewfleet end-to-end: crash a replica that owns a running job and verify
 # a peer steals its journal and finishes it byte-identical to an
@@ -84,13 +87,25 @@ load-e2e:
 	$(GO) test -run 'TestSkewload' -count=1 -v ./internal/clitest/
 
 # Parallel STA / concurrent-trial / group-commit benchmarks, recorded as
-# benchstat-style records in BENCH_pr7.json (cmd/benchjson converts the
+# benchstat-style records in BENCH_pr9.json (cmd/benchjson converts the
 # bench text, derives per-group speedups against the j=1 serial baseline,
 # and collects the OBSMETRIC gauges — cache hit rate, move accept rate,
 # group-commit fsyncs per line — the benchmarks log from their untimed
-# regions). Compare ns/op against BENCH_pr4.json for the previous snapshot.
+# regions). `make bench-gate` diffs it against the committed BENCH_pr7.json.
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr7.json
+	$(GO) test -run '^$$' -bench 'Parallel' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_pr9.json
+
+# Deterministic regression gate over the committed benchmark snapshots:
+# nothing may regress past the default thresholds, and the flat-kernel PR's
+# headline claims stay enforced — cold serial STA at least 1.5x faster and
+# 4x fewer allocations than the PR 7 kernel, warm serial STA allocation-free
+# (<=64 allocs/op absorbs one-time pool warm-up inside the first measured
+# iterations). Runs offline on the two JSON files, so it is part of tier1.
+bench-gate:
+	$(GO) run ./cmd/benchjson -compare \
+		-require 'BenchmarkSTAAnalyzeParallel/cold/j=1:ns<=0.667x,allocs<=0.25x' \
+		-require 'BenchmarkSTAAnalyzeParallel/warm/j=1:allocs<=64' \
+		BENCH_pr7.json BENCH_pr9.json
 
 # 30-second fuzz pass over the design reader's validation layer.
 fuzz:
@@ -108,5 +123,6 @@ help:
 	@echo "serve-e2e        skewd crash/fault/drain end-to-end (kill -9 resume, fault matrix)"
 	@echo "fleet-e2e        skewfleet failover end-to-end (replica kill -> journal steal, partitions)"
 	@echo "load-e2e         skewload load/durability end-to-end (group commit vs per-line fsync)"
-	@echo "bench            parallel STA + group-commit benchmarks + OBSMETRIC gauges -> BENCH_pr7.json"
+	@echo "bench            parallel STA + group-commit benchmarks + OBSMETRIC gauges -> BENCH_pr9.json"
+	@echo "bench-gate       compare BENCH_pr7.json vs BENCH_pr9.json (regressions + flat-kernel targets)"
 	@echo "fuzz             30s fuzz of the design reader"

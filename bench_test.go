@@ -317,7 +317,7 @@ func BenchmarkSTAAnalyze(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tm.Analyze(d.Tree)
+		tm.Analyze(d.Tree).Release()
 	}
 }
 
@@ -345,7 +345,7 @@ func BenchmarkSTAAnalyzeParallel(b *testing.B) {
 					if mode == "cold" {
 						tm.FlushNetCache()
 					}
-					tm.Analyze(d.Tree)
+					tm.Analyze(d.Tree).Release()
 				}
 				b.StopTimer()
 				// OBSMETRIC lines ride the bench log into BENCH_*.json via

@@ -1,0 +1,220 @@
+package main
+
+// Regression-gate mode: `benchjson -compare old.json new.json` loads two
+// reports previously produced by this command and fails (exit 1) when
+// the new run regressed — or, with -require, when an explicit improvement
+// target is not met. This is what `make bench-gate` runs against the
+// committed BENCH_*.json files, so kernel-performance claims are checked
+// by CI rather than asserted in prose.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// requirement is one parsed -require flag: a benchmark name plus metric
+// constraints that must all hold between old and new.
+type requirement struct {
+	name  string
+	terms []reqTerm
+}
+
+// reqTerm is one constraint: metric <= bound, where the bound is either
+// relative to the old value ("0.667x") or an absolute new-run value
+// ("64").
+type reqTerm struct {
+	metric   string // "ns" or "allocs"
+	bound    float64
+	relative bool
+}
+
+// requireFlag accumulates repeated -require values.
+type requireFlag []requirement
+
+func (r *requireFlag) String() string { return fmt.Sprintf("%d requirement(s)", len(*r)) }
+
+func (r *requireFlag) Set(s string) error {
+	req, err := parseRequire(s)
+	if err != nil {
+		return err
+	}
+	*r = append(*r, req)
+	return nil
+}
+
+// parseRequire parses "BenchmarkName:ns<=0.667x,allocs<=0.25x". Metrics
+// are ns (ns/op) and allocs (allocs/op); a trailing 'x' makes the bound
+// a ratio of the old run's value, otherwise it is an absolute ceiling on
+// the new run's value.
+func parseRequire(s string) (requirement, error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 || i == len(s)-1 {
+		return requirement{}, fmt.Errorf("require %q: want name:metric<=bound[,...]", s)
+	}
+	req := requirement{name: s[:i]}
+	for _, part := range strings.Split(s[i+1:], ",") {
+		j := strings.Index(part, "<=")
+		if j <= 0 {
+			return requirement{}, fmt.Errorf("require %q: term %q: only metric<=bound is supported", s, part)
+		}
+		term := reqTerm{metric: part[:j]}
+		if term.metric != "ns" && term.metric != "allocs" {
+			return requirement{}, fmt.Errorf("require %q: unknown metric %q (want ns or allocs)", s, term.metric)
+		}
+		val := part[j+2:]
+		if strings.HasSuffix(val, "x") {
+			term.relative = true
+			val = strings.TrimSuffix(val, "x")
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return requirement{}, fmt.Errorf("require %q: bad bound %q: %v", s, part[j+2:], err)
+		}
+		term.bound = f
+		req.terms = append(req.terms, term)
+	}
+	return req, nil
+}
+
+// stripProcs removes the "-<GOMAXPROCS>" suffix go test appends, so
+// reports from machines with different CPU counts still line up.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports checks new against old and writes a per-benchmark
+// verdict table to w. Any benchmark present in both runs whose ns/op or
+// allocs/op grew beyond the regression thresholds is a failure, as is
+// any unmet or unmatched -require. Returns the failure descriptions.
+func compareReports(w io.Writer, old, new *Report, maxNsRegress, maxAllocRegress float64, reqs []requirement) []string {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[stripProcs(b.Name)] = b
+	}
+	var failures []string
+	matched := map[string]bool{}
+	var names []string
+	newBy := map[string]Benchmark{}
+	for _, b := range new.Benchmarks {
+		n := stripProcs(b.Name)
+		newBy[n] = b
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-60s %12.0f ns/op %8d allocs/op\n", name, nb.NsPerOp, nb.AllocsPerOp)
+			continue
+		}
+		matched[name] = true
+		nsRatio := ratio(nb.NsPerOp, ob.NsPerOp)
+		allocRatio := ratio(float64(nb.AllocsPerOp), float64(ob.AllocsPerOp))
+		verdict := "ok"
+		if nsRatio > maxNsRegress {
+			verdict = "REGRESS"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f → %.0f (%.2fx > %.2fx allowed)",
+				name, ob.NsPerOp, nb.NsPerOp, nsRatio, maxNsRegress))
+		}
+		if ob.AllocsPerOp > 0 && allocRatio > maxAllocRegress {
+			verdict = "REGRESS"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d → %d (%.2fx > %.2fx allowed)",
+				name, ob.AllocsPerOp, nb.AllocsPerOp, allocRatio, maxAllocRegress))
+		}
+		fmt.Fprintf(w, "  %-8s %-60s ns/op %.2fx  allocs %.2fx\n", verdict, name, nsRatio, allocRatio)
+	}
+	var oldNames []string
+	for name := range oldBy {
+		oldNames = append(oldNames, name)
+	}
+	sort.Strings(oldNames)
+	for _, name := range oldNames {
+		if _, ok := newBy[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in old run, missing from new", name))
+		}
+	}
+	for _, req := range reqs {
+		ob, okOld := oldBy[req.name]
+		nb, okNew := newBy[req.name]
+		if !okOld || !okNew {
+			failures = append(failures, fmt.Sprintf("require %s: benchmark not found in both runs", req.name))
+			continue
+		}
+		for _, term := range req.terms {
+			oldV, newV := ob.NsPerOp, nb.NsPerOp
+			if term.metric == "allocs" {
+				oldV, newV = float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)
+			}
+			limit := term.bound
+			if term.relative {
+				limit = term.bound * oldV
+			}
+			if newV > limit {
+				failures = append(failures, fmt.Sprintf("require %s: %s = %.0f exceeds limit %.0f (old %.0f)",
+					req.name, term.metric, newV, limit, oldV))
+			} else {
+				fmt.Fprintf(w, "  require  %-60s %s %.0f <= %.0f\n", req.name, term.metric, newV, limit)
+			}
+		}
+	}
+	return failures
+}
+
+func ratio(new, old float64) float64 {
+	if old <= 0 {
+		if new <= 0 {
+			return 1
+		}
+		return new // old was zero: any nonzero new is reported as-is
+	}
+	return new / old
+}
+
+// runCompare is the -compare entry point.
+func runCompare(oldPath, newPath string, maxNsRegress, maxAllocRegress float64, reqs []requirement) int {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	new, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	fmt.Printf("comparing %s (old) vs %s (new):\n", oldPath, newPath)
+	failures := compareReports(os.Stdout, old, new, maxNsRegress, maxAllocRegress, reqs)
+	if len(failures) > 0 {
+		fmt.Printf("FAIL: %d violation(s)\n", len(failures))
+		for _, f := range failures {
+			fmt.Printf("  - %s\n", f)
+		}
+		return 1
+	}
+	fmt.Println("PASS")
+	return 0
+}

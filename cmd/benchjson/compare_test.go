@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(bs ...Benchmark) *Report { return &Report{Benchmarks: bs} }
+
+func bench(name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestParseRequire(t *testing.T) {
+	req, err := parseRequire("BenchmarkX/cold/j=1:ns<=0.667x,allocs<=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.name != "BenchmarkX/cold/j=1" || len(req.terms) != 2 {
+		t.Fatalf("parsed %+v", req)
+	}
+	if !req.terms[0].relative || req.terms[0].metric != "ns" || req.terms[0].bound != 0.667 {
+		t.Fatalf("ns term %+v", req.terms[0])
+	}
+	if req.terms[1].relative || req.terms[1].metric != "allocs" || req.terms[1].bound != 64 {
+		t.Fatalf("allocs term %+v", req.terms[1])
+	}
+	for _, bad := range []string{"no-colon", "x:", "x:ns>=2", "x:watts<=1", "x:ns<=fast"} {
+		if _, err := parseRequire(bad); err == nil {
+			t.Fatalf("parseRequire(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := rep(bench("BenchmarkA-8", 1000, 100), bench("BenchmarkB-8", 500, 10))
+	// A's time regressed 2x; B's allocs regressed 3x. Different -procs
+	// suffixes must still match.
+	new := rep(bench("BenchmarkA-4", 2000, 100), bench("BenchmarkB-4", 500, 30))
+	fails := compareReports(&strings.Builder{}, old, new, 1.25, 1.25, nil)
+	if len(fails) != 2 {
+		t.Fatalf("want 2 failures, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "BenchmarkA") || !strings.Contains(fails[1], "BenchmarkB") {
+		t.Fatalf("unexpected failures %v", fails)
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	old := rep(bench("BenchmarkA", 1000, 100))
+	new := rep(bench("BenchmarkA", 1100, 110), bench("BenchmarkNew", 42, 1))
+	if fails := compareReports(&strings.Builder{}, old, new, 1.25, 1.25, nil); len(fails) != 0 {
+		t.Fatalf("10%% drift within a 25%% threshold should pass: %v", fails)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := rep(bench("BenchmarkA", 1000, 100), bench("BenchmarkGone", 10, 1))
+	new := rep(bench("BenchmarkA", 1000, 100))
+	fails := compareReports(&strings.Builder{}, old, new, 1.25, 1.25, nil)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkGone") {
+		t.Fatalf("dropped benchmark must fail the gate: %v", fails)
+	}
+}
+
+func TestCompareRequirements(t *testing.T) {
+	old := rep(bench("BenchmarkSTA/cold/j=1", 3000, 1000), bench("BenchmarkSTA/warm/j=1", 400, 50))
+	new := rep(bench("BenchmarkSTA/cold/j=1", 1500, 200), bench("BenchmarkSTA/warm/j=1", 350, 0))
+
+	met := []requirement{
+		mustReq(t, "BenchmarkSTA/cold/j=1:ns<=0.667x,allocs<=0.25x"),
+		mustReq(t, "BenchmarkSTA/warm/j=1:allocs<=64"),
+	}
+	if fails := compareReports(&strings.Builder{}, old, new, 1.25, 1.25, met); len(fails) != 0 {
+		t.Fatalf("met requirements should pass: %v", fails)
+	}
+
+	unmet := []requirement{mustReq(t, "BenchmarkSTA/cold/j=1:ns<=0.4x")}
+	if fails := compareReports(&strings.Builder{}, old, new, 1.25, 1.25, unmet); len(fails) != 1 {
+		t.Fatalf("unmet requirement should fail once: %v", fails)
+	}
+
+	ghost := []requirement{mustReq(t, "BenchmarkNope:ns<=1x")}
+	if fails := compareReports(&strings.Builder{}, old, new, 1.25, 1.25, ghost); len(fails) != 1 {
+		t.Fatalf("requirement on a missing benchmark must fail (typo guard): %v", fails)
+	}
+}
+
+func mustReq(t *testing.T, s string) requirement {
+	t.Helper()
+	req, err := parseRequire(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}

@@ -9,11 +9,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench Parallel -benchmem . | benchjson > BENCH_pr4.json
+//
+// With -compare it instead gates one converted report against another
+// (see compare.go):
+//
+//	benchjson -compare \
+//	  -require 'BenchmarkSTAAnalyzeParallel/cold/j=1:ns<=0.667x,allocs<=0.25x' \
+//	  BENCH_pr7.json BENCH_pr9.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -50,6 +58,22 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
+	var (
+		compare  = flag.Bool("compare", false, "compare two converted reports: benchjson -compare old.json new.json")
+		maxNs    = flag.Float64("max-ns-regress", 1.25, "with -compare: fail when any benchmark's ns/op grows beyond this ratio")
+		maxAlloc = flag.Float64("max-alloc-regress", 1.25, "with -compare: fail when any benchmark's allocs/op grows beyond this ratio")
+		reqs     requireFlag
+	)
+	flag.Var(&reqs, "require",
+		"with -compare: required improvement, e.g. 'BenchmarkX/j=1:ns<=0.667x,allocs<=64' (repeatable; 'x' bounds are ratios of the old run)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *maxNs, *maxAlloc, reqs))
+	}
 	rep := Report{NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

@@ -75,12 +75,16 @@ func Characterize(t *tech.Tech) *Char {
 }
 
 // steadyStage iterates the repeating-stage fixed point: a pair driving a
-// q-µm wire into an identical pair, until the input slew converges.
+// q-µm wire into an identical pair, until the input slew converges. The
+// wire's electrical view depends only on (q, k, endLoad), so it is
+// reduced once outside the loop; each iteration re-evaluates only the
+// gate model and the slew propagation.
 func steadyStage(t *tech.Tech, cell *tech.Cell, q float64, k int) (delay, slewIn float64) {
+	w := buildStageWire(t, q, k, cell.InCap)
 	slewIn = 40
 	var stage float64
 	for it := 0; it < 25; it++ {
-		d, wireD, slewNext := detailStage(t, cell, q, k, slewIn, cell.InCap)
+		d, wireD, slewNext := w.stage(t, cell, k, slewIn)
 		stage = d + wireD
 		if math.Abs(slewNext-slewIn) < 0.01 {
 			slewIn = slewNext
@@ -91,19 +95,40 @@ func steadyStage(t *tech.Tech, cell *tech.Cell, q float64, k int) (delay, slewIn
 	return stage, slewIn
 }
 
-// detailStage computes one stage: pair gate delay at the given input slew
-// driving a q-µm wire terminated by endLoad. Returns the pair delay, the
-// wire delay to the far end, and the PERI slew at the far end.
-func detailStage(t *tech.Tech, cell *tech.Cell, q float64, k int, slewIn, endLoad float64) (gate, wire, slewOut float64) {
+// stageWire is a q-µm stage wire with its end load reduced to what the
+// stage evaluation consumes: total load and the far-end moments.
+type stageWire struct {
+	totalCap float64
+	m1, m2   float64
+}
+
+// buildStageWire reduces the stage wire once — the expensive part of a
+// stage evaluation, and the part that never changes across fixed-point
+// iterations.
+func buildStageWire(t *tech.Tech, q float64, k int, endLoad float64) stageWire {
 	b := rctree.NewBuilder(0)
 	end := b.AddWire(0, q, t.WireR(k), t.WireC(k))
 	b.AddLoad(end, endLoad)
 	rc := b.Done()
-	gate, drvSlew := sta.PairDelay(t, cell, k, slewIn, rc.TotalCap())
 	m1, m2 := rc.Moments()
-	wire = rctree.D2M(m1[end], m2[end])
-	slewOut = rctree.PERISlew(drvSlew, rctree.StepSlew(m1[end], m2[end]))
+	return stageWire{totalCap: rc.TotalCap(), m1: m1[end], m2: m2[end]}
+}
+
+// stage evaluates one stage through the reduced wire: pair gate delay at
+// the given input slew, wire delay to the far end, and the PERI slew
+// there — the identical arithmetic the unreduced path performs.
+func (w stageWire) stage(t *tech.Tech, cell *tech.Cell, k int, slewIn float64) (gate, wire, slewOut float64) {
+	gate, drvSlew := sta.PairDelay(t, cell, k, slewIn, w.totalCap)
+	wire = rctree.D2M(w.m1, w.m2)
+	slewOut = rctree.PERISlew(drvSlew, rctree.StepSlew(w.m1, w.m2))
 	return gate, wire, slewOut
+}
+
+// detailStage computes one stage: pair gate delay at the given input slew
+// driving a q-µm wire terminated by endLoad. Returns the pair delay, the
+// wire delay to the far end, and the PERI slew at the far end.
+func detailStage(t *tech.Tech, cell *tech.Cell, q float64, k int, slewIn, endLoad float64) (gate, wire, slewOut float64) {
+	return buildStageWire(t, q, k, endLoad).stage(t, cell, k, slewIn)
 }
 
 // NumCells returns the number of characterized gate sizes.

@@ -1,0 +1,69 @@
+package serve
+
+// Cross-job STA net-cache sharing. Each job builds its own Timer, but
+// repeated submissions of the same (or a similar) design re-derive the
+// same net topology hashes — so the server keeps one sta.NetCache per
+// corner signature and attaches it to every job timer over that view.
+// A resubmitted design then analyzes without rebuilding a single net
+// view, which /metrics exposes as serve.sta.net_cache.hits.
+//
+// Correctness never depends on this cache: entries are keyed by a hash
+// that covers everything a net build reads, and sta.NetCache re-checks
+// the technology identity on every use. The cache is process state, not
+// spool state — a restarted server starts cold and converges to the
+// same results (the warm-cache e2e test pins byte-identical outputs
+// across a restart).
+
+import (
+	"strings"
+	"sync"
+
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+)
+
+// maxCornerViews bounds the number of distinct corner signatures the
+// server retains. Real deployments use a handful; on overflow the whole
+// map is dropped, exactly like the underlying net caches.
+const maxCornerViews = 32
+
+// cornerView is one corner signature's shared state: the technology
+// sub-view (stable pointer, so timer-side identity checks hold across
+// jobs) and the net cache bound to it.
+type cornerView struct {
+	view  *tech.Tech
+	cache *sta.NetCache
+}
+
+// viewCache hands out cornerViews keyed by corner signature.
+type viewCache struct {
+	mu sync.Mutex
+	m  map[string]*cornerView
+}
+
+func newViewCache() *viewCache {
+	return &viewCache{m: map[string]*cornerView{}}
+}
+
+// get returns the shared view/cache pair for a corner-name list,
+// creating it on first use. The signature joins the names in request
+// order — corner order is part of the analysis contract (corner indices
+// feed results), so differently-ordered requests must not share a view.
+func (vc *viewCache) get(base *tech.Tech, corners []string) (*cornerView, error) {
+	sig := strings.Join(corners, "\x1f")
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if cv, ok := vc.m[sig]; ok {
+		return cv, nil
+	}
+	view, err := base.SubCorners(corners...)
+	if err != nil {
+		return nil, err
+	}
+	if len(vc.m) >= maxCornerViews {
+		vc.m = map[string]*cornerView{}
+	}
+	cv := &cornerView{view: view, cache: sta.NewNetCache()}
+	vc.m[sig] = cv
+	return cv, nil
+}

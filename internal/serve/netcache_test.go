@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// netCacheCounters reads the cross-job STA net-cache counters from the
+// public /metrics endpoint — the same view an operator gets.
+func netCacheCounters(t *testing.T, url string) (hits, misses int64) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters["serve.sta.net_cache.hits"], snap.Counters["serve.sta.net_cache.misses"]
+}
+
+func fetchResult(t *testing.T, url, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d", id, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runOneJob(t *testing.T, url string, body []byte) (id string, result []byte) {
+	t.Helper()
+	code, m, _ := post(t, url, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d (want 202)", code)
+	}
+	id = m["id"]
+	st := waitState(t, url, id, StateDone, StateFailed, StateCanceled)
+	if st.State != StateDone {
+		t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+	}
+	return id, fetchResult(t, url, id)
+}
+
+// TestNetCacheCrossJobReuse is the warm-cache end-to-end check: the
+// second submission of an identical design must run entirely off the
+// shared per-corner-signature net cache — zero additional misses on
+// /metrics — and produce a byte-identical result. After a server
+// restart on the same spool the cache is cold again (it is process
+// state, not spool state), yet the result stays byte-identical: the
+// cache is an optimization, never an input.
+func TestNetCacheCrossJobReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow execution in -short mode")
+	}
+	spool := t.TempDir()
+	s, url := testServer(t, spool, func(c *Config) { c.Workers = 1 })
+	body := jobBody(t, nil)
+
+	_, res1 := runOneJob(t, url, body)
+	hits1, misses1 := netCacheCounters(t, url)
+	if misses1 == 0 {
+		t.Fatal("first job on a fresh server must miss the net cache")
+	}
+
+	_, res2 := runOneJob(t, url, body)
+	hits2, misses2 := netCacheCounters(t, url)
+	if misses2 != misses1 {
+		t.Fatalf("resubmitted design added %d cache misses, want 0 (deterministic flow must re-derive cached hashes)",
+			misses2-misses1)
+	}
+	if hits2 <= hits1 {
+		t.Fatalf("resubmitted design added no cache hits (hits %d → %d)", hits1, hits2)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("warm-cache job produced a different result than the cold run")
+	}
+
+	// Restart: same spool, new process state. The cache must start cold
+	// (fresh misses) and the optimization must remain invisible in the
+	// output.
+	s.Drain()
+	_, url2 := testServer(t, spool, func(c *Config) { c.Workers = 1 })
+	_, res3 := runOneJob(t, url2, body)
+	_, misses3 := netCacheCounters(t, url2)
+	if misses3 == 0 {
+		t.Fatal("restarted server must re-derive net views (cache is process state, not spool state)")
+	}
+	if !bytes.Equal(res1, res3) {
+		t.Fatal("post-restart result differs from the original run")
+	}
+}

@@ -252,6 +252,10 @@ type Server struct {
 	draining atomic.Bool
 	crashed  atomic.Bool // kill -9 simulation armed by Crash (fleet harness)
 
+	// views shares per-corner-signature technology sub-views and STA net
+	// caches across jobs (see netcache.go).
+	views *viewCache
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []string // submission order, for deterministic listings/replay
@@ -273,9 +277,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: creating spool %s: %w", cfg.SpoolDir, err)
 	}
 	s := &Server{
-		cfg:  cfg,
-		logf: cfg.Logf,
-		jobs: map[string]*job{},
+		cfg:   cfg,
+		logf:  cfg.Logf,
+		jobs:  map[string]*job{},
+		views: newViewCache(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.pickCtx, s.pickCancel = context.WithCancel(s.hardCtx)
@@ -462,11 +467,16 @@ func (s *Server) parseDesign(raw []byte) (*ctree.Design, *sta.Timer, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: job design: %w", err)
 	}
-	view, err := s.cfg.Tech.SubCorners(d.CornerNames...)
+	cv, err := s.views.get(s.cfg.Tech, d.CornerNames)
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: job corner view: %v: %w", err, resilience.ErrInvalidDesign)
 	}
-	return d, sta.New(view), nil
+	tm := sta.New(cv.view)
+	// Jobs over the same corner signature share net electrical views:
+	// resubmitting a design analyzes against a warm cache (visible in
+	// /metrics as serve.sta.net_cache.* traffic).
+	tm.SharedCache = cv.cache
+	return d, tm, nil
 }
 
 // jobPath builds a per-job artifact path in the spool.

@@ -12,6 +12,7 @@ import (
 	"skewvar/internal/faults"
 	"skewvar/internal/obs"
 	"skewvar/internal/resilience"
+	"skewvar/internal/sta"
 )
 
 // startWorkers launches the bounded worker pool. Together with
@@ -112,6 +113,7 @@ func (s *Server) runJob(j *job) {
 	jrec := obs.New()
 	var res *core.FlowResult
 	var design *ctree.Design
+	var jobTimer *sta.Timer
 	err := resilience.Safely("job "+j.id, func() error {
 		if s.cfg.Faults.Fire(faults.WorkerPanic) {
 			s.counter("serve.faults.worker_panic").Add(1)
@@ -122,6 +124,7 @@ func (s *Server) runJob(j *job) {
 			return perr
 		}
 		design = d
+		jobTimer = tm
 		stages, serr := flowStages(j.req.Flow)
 		if serr != nil {
 			return serr
@@ -163,6 +166,17 @@ func (s *Server) runJob(j *job) {
 	if merr := jrec.WriteMetrics(s.jobPath(j.id, "metrics.json")); merr != nil {
 		s.logf("job %s: metrics sink: %v", j.id, merr)
 		s.counter("serve.sink.failures").Add(1)
+	}
+
+	// The job timer is fresh per job, so its lifetime cache counters ARE
+	// this job's traffic against the shared per-corner-signature net
+	// cache. Aggregated here, they make cross-job reuse observable at
+	// /metrics: a resubmitted design adds hits and no misses.
+	if jobTimer != nil {
+		cs := jobTimer.CacheStats()
+		s.counter("serve.sta.net_cache.hits").Add(cs.Hits)
+		s.counter("serve.sta.net_cache.misses").Add(cs.Misses)
+		s.counter("serve.sta.net_cache.evictions").Add(cs.Evictions)
 	}
 
 	s.finishJob(j, design, res, err)

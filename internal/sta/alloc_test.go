@@ -1,0 +1,84 @@
+// Allocation gates for the flat kernel — the point of the SoA refactor.
+// Warm analyses (cache hit, pooled scratch, released results) must not
+// allocate; cold analyses must stay far below the legacy kernel's
+// allocation count. These run under `make test`, so an accidental
+// per-net or per-corner allocation fails CI, not just a benchmark graph.
+package sta_test
+
+import (
+	"testing"
+
+	"skewvar/internal/exp"
+	"skewvar/internal/sta"
+	"skewvar/internal/testgen"
+)
+
+// TestAnalyzeWarmZeroAlloc pins the steady state: with the net cache
+// warm and analyses released back to the pool, Analyze performs no
+// allocations at all on the serial path.
+func TestAnalyzeWarmZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on alloc-free paths")
+	}
+	d, tm := buildCase(t, testgen.CLS1v1(140))
+	ft := timerLike(tm, 1)
+	// Warm the net cache, the scratch pools, and the analysis pool.
+	for i := 0; i < 3; i++ {
+		ft.Analyze(d.Tree).Release()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		ft.Analyze(d.Tree).Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Analyze allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAnalyzeWarmZeroAllocFourCorners repeats the gate on a four-corner
+// view so corner-count-dependent buffers (batch rows, moment slices) are
+// covered beyond the three-corner benchmark shape.
+func TestAnalyzeWarmZeroAllocFourCorners(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on alloc-free paths")
+	}
+	d, tm := buildCase(t, testgen.CLS2v1(100))
+	full, _ := exp.Technology() // all four corners, unlike the variant's view
+	ft := sta.New(full)
+	ft.Cong = tm.Cong
+	for i := 0; i < 3; i++ {
+		ft.Analyze(d.Tree).Release()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		ft.Analyze(d.Tree).Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm 4-corner Analyze allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAnalyzeColdAllocBudget compares cold-cache allocation counts across
+// kernels on the same design: building every net view for all corners at
+// once must cost at most a quarter of the legacy kernel's per-corner
+// rebuilds (the PR's headline allocation target, enforced here and not
+// only in the benchmark gate).
+func TestAnalyzeColdAllocBudget(t *testing.T) {
+	d, tm := buildCase(t, testgen.CLS1v1(140))
+
+	ft := timerLike(tm, 1)
+	ft.Analyze(d.Tree).Release() // warm pools; cache is flushed per run below
+	flat := testing.AllocsPerRun(10, func() {
+		ft.FlushNetCache()
+		ft.Analyze(d.Tree).Release()
+	})
+
+	lt := legacyLike(tm, 1)
+	legacy := testing.AllocsPerRun(10, func() {
+		lt.FlushNetCache()
+		lt.Analyze(d.Tree)
+	})
+
+	if flat > legacy/4 {
+		t.Fatalf("cold flat Analyze allocates %.0f/op vs legacy %.0f/op; want ≤ legacy/4", flat, legacy)
+	}
+	t.Logf("cold allocations: flat %.0f/op, legacy %.0f/op (%.1f× fewer)", flat, legacy, legacy/flat)
+}

@@ -60,14 +60,23 @@ func (tm *Timer) netcache() *netCache {
 	return tm.cache
 }
 
-// FlushNetCache drops every cached per-net electrical view. Lookups
-// hash-validate on every call, so flushing is never needed for correctness;
+// FlushNetCache drops every cached per-net electrical view — the legacy
+// kernel's per-(net, corner) map, the flat kernel's timer-owned cache,
+// and the attached SharedCache, if any. Flushing is never needed for
+// correctness (legacy lookups hash-validate; flat lookups key by hash);
 // it exists to bound memory in long-lived timers and to time cache-cold
 // paths in benchmarks.
 func (tm *Timer) FlushNetCache() {
 	tm.cacheMu.Lock()
 	tm.cache = nil
+	fc := tm.fcache
 	tm.cacheMu.Unlock()
+	if fc != nil {
+		fc.flush()
+	}
+	if sc := tm.SharedCache; sc != nil {
+		sc.flush()
+	}
 }
 
 // fnv64 is inlined FNV-1a, avoiding hash/fnv's per-net allocations.

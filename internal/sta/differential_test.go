@@ -1,0 +1,256 @@
+// Differential equivalence suite for the flat SoA kernel: every analysis
+// the flat kernel produces must be bitwise identical — floats, NaN
+// positions, derived skews, canonical traces — to the retained legacy
+// kernel, across design classes, sizes, seeds, corner counts, and worker
+// counts. The legacy kernel is the reference the rest of the repo was
+// validated against; these tests are what lets the flat kernel be the
+// default.
+package sta_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/exp"
+	"skewvar/internal/geom"
+	"skewvar/internal/obs"
+	"skewvar/internal/route"
+	"skewvar/internal/sta"
+	"skewvar/internal/tech"
+	"skewvar/internal/testgen"
+)
+
+// diffWorkerSweep: the serial driver-major path and the corner-parallel
+// path — the two propagation orders the flat kernel implements.
+var diffWorkerSweep = []int{1, 4}
+
+// legacyLike returns a reference timer over tm's configuration running
+// the retained legacy kernel.
+func legacyLike(tm *sta.Timer, workers int) *sta.Timer {
+	nt := timerLike(tm, workers)
+	nt.Kernel = sta.KernelLegacy
+	return nt
+}
+
+// diffCorpus builds the differential corpus: the three benchmark classes
+// at two sizes each, a reseeded variant (different placement, same
+// class), and a four-corner training case. Three-corner and four-corner
+// technologies, congested and uncongested timers.
+func diffCorpus(t *testing.T) (names []string, designs []*ctree.Design, timers []*sta.Timer) {
+	t.Helper()
+	add := func(name string, d *ctree.Design, tm *sta.Timer) {
+		names = append(names, name)
+		designs = append(designs, d)
+		timers = append(timers, tm)
+	}
+	vars := []testgen.Variant{
+		testgen.CLS1v1(48), testgen.CLS1v1(140),
+		testgen.CLS1v2(64), testgen.CLS2v1(80), testgen.CLS2v1(180),
+	}
+	reseeded := testgen.CLS1v2(72)
+	reseeded.Seed = 4242
+	reseeded.Name = "CLS1v2-s4242"
+	vars = append(vars, reseeded)
+	for _, v := range vars {
+		d, tm := buildCase(t, v)
+		add(v.Name, d, tm)
+	}
+	th := tech.Default28nm()
+	rng := rand.New(rand.NewSource(23))
+	tc := testgen.NewTrainingCase(th, rng)
+	tm := sta.New(th)
+	tm.Cong = route.NewCongestion(tc.Die, 8, 8, 0.18, 9)
+	add("training-4corner", &ctree.Design{Name: "training", Tree: tc.Tree}, tm)
+	return names, designs, timers
+}
+
+// mustEqualSkews pins the derived quantities flow decisions hang off:
+// per-pair skews at every corner, the α normalization, and the summed
+// variation objective.
+func mustEqualSkews(t *testing.T, label string, want, got *sta.Analysis, pairs []ctree.SinkPair) {
+	t.Helper()
+	if len(pairs) == 0 {
+		return
+	}
+	for k := 0; k < want.K; k++ {
+		for _, p := range pairs {
+			a, b := want.Skew(k, p.A, p.B), got.Skew(k, p.A, p.B)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%s: corner %d pair (%d,%d): skew %v vs %v", label, k, p.A, p.B, a, b)
+			}
+		}
+	}
+	aw, ag := sta.Alphas(want, pairs), sta.Alphas(got, pairs)
+	for k := range aw {
+		if math.Float64bits(aw[k]) != math.Float64bits(ag[k]) {
+			t.Fatalf("%s: alpha[%d] %v vs %v", label, k, aw[k], ag[k])
+		}
+	}
+	sw, sg := sta.SumVariation(want, aw, pairs), sta.SumVariation(got, ag, pairs)
+	if math.Float64bits(sw) != math.Float64bits(sg) {
+		t.Fatalf("%s: SumVariation %v vs %v", label, sw, sg)
+	}
+}
+
+// TestFlatKernelMatchesLegacy is the core differential claim: for every
+// corpus design, cold and warm flat analyses at j ∈ {1, 4} are bitwise
+// identical to the legacy kernel's, down to derived skews.
+func TestFlatKernelMatchesLegacy(t *testing.T) {
+	names, designs, timers := diffCorpus(t)
+	for i := range designs {
+		d, tm := designs[i], timers[i]
+		ref := legacyLike(tm, 1).Analyze(d.Tree)
+		for _, j := range diffWorkerSweep {
+			ft := timerLike(tm, j) // fresh timer: flat kernel is the default
+			cold := ft.Analyze(d.Tree)
+			mustBitEqual(t, names[i]+"/cold", ref, cold)
+			mustEqualSkews(t, names[i]+"/cold", ref, cold, d.Pairs)
+			warm := ft.Analyze(d.Tree)
+			mustBitEqual(t, names[i]+"/warm", ref, warm)
+			cold.Release()
+			warm.Release()
+		}
+	}
+}
+
+// TestFlatKernelCanonicalTraceMatchesLegacy asserts the observability
+// contract survived the kernel swap: the canonical trace (span kinds,
+// ancestry, attributes — ids and timings stripped) of a flat analysis is
+// byte-identical to a legacy analysis, in both propagation orders.
+func TestFlatKernelCanonicalTraceMatchesLegacy(t *testing.T) {
+	d, tm := buildCase(t, testgen.CLS1v1(64))
+	trace := func(kernel sta.Kernel, workers int) []byte {
+		nt := timerLike(tm, workers)
+		nt.Kernel = kernel
+		nt.Obs = obs.New()
+		nt.Analyze(d.Tree).Release()
+		return obs.CanonicalTrace(nt.Obs.Records())
+	}
+	want := trace(sta.KernelLegacy, 1)
+	for _, j := range diffWorkerSweep {
+		if got := trace(sta.KernelFlat, j); !bytes.Equal(want, got) {
+			t.Fatalf("canonical trace diverged at j=%d:\nlegacy:\n%s\nflat:\n%s", j, want, got)
+		}
+	}
+}
+
+// TestFlatIncrementalMatchesLegacy drives the same ECO edit sequence
+// through both kernels: displacements, detours, and re-parenting, with
+// caches warmed on the pre-edit topology so dirty-net invalidation (hash
+// mismatch for legacy, fresh hash key for flat) is exercised.
+func TestFlatIncrementalMatchesLegacy(t *testing.T) {
+	d, tm := buildCase(t, testgen.CLS1v1(140))
+	rng := rand.New(rand.NewSource(71))
+	ref := legacyLike(tm, 1)
+
+	tr := d.Tree.Clone()
+	base := ref.Analyze(tr)
+	for trial := 0; trial < 8; trial++ {
+		var dirty []ctree.NodeID
+		bufs := tr.Buffers()
+		switch trial % 3 {
+		case 0:
+			b := bufs[rng.Intn(len(bufs))]
+			tr.Node(b).Loc = tr.Node(b).Loc.Add(geom.Pt(-9, 14))
+			dirty = []ctree.NodeID{b}
+		case 1:
+			s := tr.Sinks()[rng.Intn(len(tr.Sinks()))]
+			tr.Node(s).Detour += 25
+			dirty = []ctree.NodeID{s}
+		default:
+			s := tr.Sinks()[rng.Intn(len(tr.Sinks()))]
+			old := tr.Driver(s)
+			var target ctree.NodeID = ctree.NoNode
+			for _, b := range bufs {
+				if b != old && len(tr.FanoutPins(b)) > 0 {
+					target = b
+					break
+				}
+			}
+			if target == ctree.NoNode || tr.ReassignParent(s, target) != nil {
+				continue
+			}
+			dirty = []ctree.NodeID{s, old, target}
+		}
+		want := ref.AnalyzeIncremental(tr, base, dirty)
+		for _, j := range diffWorkerSweep {
+			warm := timerLike(tm, j)
+			warm.Analyze(d.Tree).Release() // warm on the pre-edit topology
+			got := warm.AnalyzeIncremental(tr, base, dirty)
+			mustBitEqual(t, "incremental/warm", want, got)
+			got.Release()
+			cold := timerLike(tm, j)
+			got = cold.AnalyzeIncremental(tr, base, dirty)
+			mustBitEqual(t, "incremental/cold", want, got)
+			got.Release()
+		}
+		base = want
+	}
+}
+
+// TestFlatScratchAliasing is the pooled-scratch safety property: analyze
+// design A, then a different design B (reusing A's pooled buffers), then
+// A again — the re-analysis must be byte-identical to the first, proving
+// no state bleeds through the pools. Released analyses force maximal
+// buffer reuse.
+func TestFlatScratchAliasing(t *testing.T) {
+	dA, tmA := buildCase(t, testgen.CLS1v1(90))
+	dB, tmB := buildCase(t, testgen.CLS2v1(150))
+	for _, j := range diffWorkerSweep {
+		ta := timerLike(tmA, j)
+		tb := timerLike(tmB, j)
+		first := ta.Analyze(dA.Tree)
+		snapshot := cloneAnalysis(first)
+		first.Release()
+		tb.Analyze(dB.Tree).Release()
+		ta.FlushNetCache() // rebuild A's views through reused build scratch too
+		again := ta.Analyze(dA.Tree)
+		mustBitEqual(t, "A/B/A reuse", snapshot, again)
+		again.Release()
+	}
+}
+
+// cloneAnalysis deep-copies an Analysis so it survives Release.
+func cloneAnalysis(a *sta.Analysis) *sta.Analysis {
+	c := &sta.Analysis{K: a.K, MaxLat: append([]float64(nil), a.MaxLat...)}
+	for k := 0; k < a.K; k++ {
+		c.Arrive = append(c.Arrive, append([]float64(nil), a.Arrive[k]...))
+		c.Slew = append(c.Slew, append([]float64(nil), a.Slew[k]...))
+	}
+	return c
+}
+
+// TestFlatSharedCacheBitIdentical pins the cross-timer reuse path: two
+// timers over the same technology view sharing one NetCache must produce
+// the same bits as isolated timers, and the second timer's analysis must
+// run without a single miss.
+func TestFlatSharedCacheBitIdentical(t *testing.T) {
+	base, _ := exp.Technology()
+	view, err := base.SubCorners("c0", "c1", "c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := buildCase(t, testgen.CLS1v1(120))
+	want := legacyLike(sta.New(view), 1).Analyze(d.Tree)
+
+	shared := sta.NewNetCache()
+	t1 := sta.New(view)
+	t1.SharedCache = shared
+	a1 := t1.Analyze(d.Tree)
+	mustBitEqual(t, "shared/first", want, a1)
+	if s := t1.CacheStats(); s.Misses == 0 {
+		t.Fatalf("first timer should miss cold: %+v", s)
+	}
+	t2 := sta.New(view)
+	t2.SharedCache = shared
+	a2 := t2.Analyze(d.Tree)
+	mustBitEqual(t, "shared/second", want, a2)
+	if s := t2.CacheStats(); s.Misses != 0 || s.Hits == 0 {
+		t.Fatalf("second timer should run fully warm off the shared cache: %+v", s)
+	}
+	a1.Release()
+	a2.Release()
+}

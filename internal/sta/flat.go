@@ -1,0 +1,699 @@
+package sta
+
+// The flat kernel: the default Analyze/AnalyzeIncremental implementation
+// since PR 9. It produces bit-identical results to the retained legacy
+// kernel (Kernel: KernelLegacy — see the differential suite in
+// differential_test.go) while replacing its allocation profile:
+//
+//   - Net electrical views are built once per (driver, net) for ALL
+//     corners in one pass over a pooled struct-of-arrays rctree.Flat:
+//     the topology walk, congestion factors, and segment lengths are
+//     corner-independent, so corners beyond the first only replay the
+//     recorded R/C program and rerun the moment recursions.
+//   - Views are cached in a NetCache keyed by the FNV-1a topology hash
+//     alone, so identical nets share one entry across drivers, analyses,
+//     and — via Timer.SharedCache — across serve jobs (the SwiftCTS-style
+//     cross-design reuse). The hash digests everything the build reads,
+//     so hash equality implies view equality; stale entries are simply
+//     never looked up again.
+//   - All per-analysis working memory (driver lists, hash stacks, sink
+//     lists, batch buffers, the Analysis itself) comes from sync.Pools
+//     and is reset, not reallocated: the warm path runs at ~zero
+//     allocations (alloc_test.go pins this).
+//
+// With Workers <= 1 (the default) propagation is driver-major: one
+// PairDelayBatch call covers every corner of a (driver, net) pair.
+// With Workers > 1 corners fan out exactly like the legacy kernel.
+// Both orders are bit-identical — corners never share state.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"skewvar/internal/ctree"
+	"skewvar/internal/geom"
+	"skewvar/internal/obs"
+	"skewvar/internal/rctree"
+	"skewvar/internal/route"
+	"skewvar/internal/tech"
+)
+
+// Kernel selects the Analyze implementation of a Timer.
+type Kernel int
+
+// Kernels. The zero value is the flat SoA kernel; the legacy
+// pointer-chasing kernel is retained as the differential reference.
+const (
+	KernelFlat   Kernel = iota // default: SoA storage, pooled scratch, batched corners
+	KernelLegacy               // PR 2–7 reference implementation
+)
+
+// flatNetEval is the all-corner electrical view of one net: the driver
+// load per corner and the first two impulse-response moments at every
+// net node, corner-major (m1[k*S+i] belongs to ids[i] at corner k).
+// Entries are immutable after construction and safely shared across
+// goroutines, drivers, analyses, and jobs.
+type flatNetEval struct {
+	ids      []ctree.NodeID
+	totalCap []float64 // [K]
+	m1, m2   []float64 // [K*len(ids)]
+}
+
+// NetCache is a bounded, hash-keyed store of net electrical views,
+// shareable across Timers: attach one to Timer.SharedCache so repeated
+// designs (e.g. identical serve jobs) skip cold net builds entirely.
+// The key is the net's topology hash, which digests everything the
+// build reads from the tree — equal hash ⇒ equal view — so entries
+// never go stale; edits simply hash elsewhere. Correctness never
+// depends on retention: on overflow the map is dropped whole.
+//
+// The technology and congestion identities the views were built against
+// are part of the cache state (they feed the electrics but not the
+// hash); a lookup under a different identity resets the cache first.
+type NetCache struct {
+	mu   sync.RWMutex
+	m    map[uint64]*flatNetEval
+	tech *tech.Tech
+	cong *route.Congestion
+}
+
+// NewNetCache returns an empty shareable net cache.
+func NewNetCache() *NetCache {
+	return &NetCache{m: make(map[uint64]*flatNetEval)}
+}
+
+// ensure resets the cache when the technology or congestion identity it
+// was built against has changed.
+func (c *NetCache) ensure(t *tech.Tech, cg *route.Congestion) {
+	c.mu.Lock()
+	if c.m == nil || c.tech != t || c.cong != cg {
+		c.m = make(map[uint64]*flatNetEval)
+		c.tech, c.cong = t, cg
+	}
+	c.mu.Unlock()
+}
+
+func (c *NetCache) get(h uint64) *flatNetEval {
+	c.mu.RLock()
+	ev := c.m[h]
+	c.mu.RUnlock()
+	return ev
+}
+
+func (c *NetCache) put(h uint64, ev *flatNetEval, evicts *atomic.Int64) {
+	c.mu.Lock()
+	if len(c.m) >= maxCachedNets {
+		c.m = make(map[uint64]*flatNetEval)
+		evicts.Add(1)
+	}
+	c.m[h] = ev
+	c.mu.Unlock()
+}
+
+// flush drops every entry, keeping the identity binding.
+func (c *NetCache) flush() {
+	c.mu.Lock()
+	c.m = make(map[uint64]*flatNetEval)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached net views.
+func (c *NetCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// flatcache returns the cache the flat kernel should use: the shared
+// one when attached, else a lazily created timer-owned one.
+func (tm *Timer) flatcache() *NetCache {
+	c := tm.SharedCache
+	if c == nil {
+		tm.cacheMu.Lock()
+		if tm.fcache == nil {
+			tm.fcache = NewNetCache()
+		}
+		c = tm.fcache
+		tm.cacheMu.Unlock()
+	}
+	c.ensure(tm.Tech, tm.Cong)
+	return c
+}
+
+// hashItem mirrors the legacy netHash walk frame.
+type hashItem struct{ id, parent ctree.NodeID }
+
+// flatNetHash is netHash with a caller-owned stack: the identical digest
+// over the identical transparent-tap traversal, zero allocations once
+// the stack is warm.
+func flatNetHash(tr *ctree.Tree, d ctree.NodeID, stack []hashItem) (uint64, []hashItem) {
+	h := newFNV()
+	dn := tr.Node(d)
+	h.f64(dn.Loc.X)
+	h.f64(dn.Loc.Y)
+	stack = stack[:0]
+	for _, c := range dn.Children {
+		stack = append(stack, hashItem{c, d})
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := tr.Node(it.id)
+		if n == nil {
+			h.byte(0) // removed-node slot, skipped by the builder too
+			continue
+		}
+		h.u64(uint64(uint32(it.parent)))
+		h.u64(uint64(uint32(it.id)))
+		h.byte(byte(n.Kind))
+		h.f64(n.Loc.X)
+		h.f64(n.Loc.Y)
+		h.f64(n.Detour)
+		if n.Kind == ctree.KindBuffer {
+			h.str(n.CellName)
+		}
+		if n.Kind == ctree.KindTap {
+			for _, c := range n.Children {
+				stack = append(stack, hashItem{c, it.id})
+			}
+		}
+	}
+	return uint64(h), stack
+}
+
+// flatScratch is the pooled per-analysis working set.
+type flatScratch struct {
+	drivers []drivingNode
+	evals   []*flatNetEval
+	sinks   []ctree.NodeID
+	nets    []ctree.NodeID // net-node walk output (incremental fast path)
+	nstack  []ctree.NodeID // tree DFS stack
+	hstack  []hashItem
+	batch   []float64 // 4K: slew-in, load, delay, out-slew batch rows
+}
+
+var flatScratchPool = sync.Pool{New: func() interface{} { return new(flatScratch) }}
+
+func getFlatScratch() *flatScratch { return flatScratchPool.Get().(*flatScratch) }
+
+func putFlatScratch(sc *flatScratch) {
+	for i := range sc.evals {
+		sc.evals[i] = nil // don't pin evicted views
+	}
+	sc.evals = sc.evals[:0]
+	sc.drivers = sc.drivers[:0]
+	sc.sinks = sc.sinks[:0]
+	sc.nets = sc.nets[:0]
+	flatScratchPool.Put(sc)
+}
+
+// buildItem is one frame of the net-build walk. Carrying the parent's RC
+// index in the frame removes the legacy NodeID→index map.
+type buildItem struct {
+	id, parent ctree.NodeID
+	parentRC   int32
+}
+
+// buildScratch is the pooled working set of a cache-miss net build.
+type buildScratch struct {
+	stack []buildItem
+	seg   []float64 // per RC index: π-section length (µm)
+	load  []float64 // per RC index: pin load at the node (0 for wire-only)
+	rc    rctree.Flat
+}
+
+var buildScratchPool = sync.Pool{New: func() interface{} { return new(buildScratch) }}
+
+// buildFlatNetEval constructs the all-corner view of the net driven by
+// d. The walk — identical traversal and floating-point order to the
+// legacy buildNetEval — builds corner 0 directly and records the
+// corner-independent program (segment lengths, pin loads); corners
+// 1..K-1 replay it with their own wire RC, skipping the walk, the
+// congestion lookups, and all allocation.
+func (tm *Timer) buildFlatNetEval(tr *ctree.Tree, d ctree.NodeID, bs *buildScratch) *flatNetEval {
+	K := tm.Tech.NumCorners()
+	dn := tr.Node(d)
+	f := &bs.rc
+	f.Reset(0)
+	bs.stack = bs.stack[:0]
+	bs.seg = append(bs.seg[:0], 0)
+	bs.load = append(bs.load[:0], 0)
+	var ids []ctree.NodeID
+	for _, c := range dn.Children {
+		bs.stack = append(bs.stack, buildItem{c, d, 0})
+	}
+	rPer0, cPer0 := tm.Tech.WireR(0), tm.Tech.WireC(0)
+	for len(bs.stack) > 0 {
+		it := bs.stack[len(bs.stack)-1]
+		bs.stack = bs.stack[:len(bs.stack)-1]
+		n := tr.Node(it.id)
+		if n == nil {
+			continue
+		}
+		p := tr.Node(it.parent)
+		length := p.Loc.Manhattan(n.Loc)
+		if tm.Cong != nil && length > 0 {
+			length *= tm.Cong.Factor(geom.Midpoint(p.Loc, n.Loc))
+		}
+		length += n.Detour
+		ni := f.AddWire(int(it.parentRC), length, rPer0, cPer0)
+		segLen := length / float64(rctree.WireSegments)
+		bs.seg = append(bs.seg, segLen, segLen)
+		bs.load = append(bs.load, 0, 0)
+		ids = append(ids, it.id)
+		switch n.Kind {
+		case ctree.KindBuffer:
+			cell := tm.Tech.CellByName(n.CellName)
+			if cell == nil {
+				panic(fmt.Sprintf("sta: unknown cell %q at node %d", n.CellName, n.ID))
+			}
+			f.AddLoad(ni, cell.InCap)
+			bs.load[ni] = cell.InCap
+		case ctree.KindSink:
+			f.AddLoad(ni, tm.Tech.SinkCap)
+			bs.load[ni] = tm.Tech.SinkCap
+		case ctree.KindTap:
+			for _, c := range n.Children {
+				bs.stack = append(bs.stack, buildItem{c, it.id, int32(ni)})
+			}
+		}
+	}
+	S := len(ids)
+	ev := &flatNetEval{
+		ids:      ids,
+		totalCap: make([]float64, K),
+		m1:       make([]float64, K*S),
+		m2:       make([]float64, K*S),
+	}
+	for k := 0; k < K; k++ {
+		if k > 0 {
+			// Replay the recorded cap/res program for this corner in the
+			// exact op order AddWire/AddLoad used: assign w−half, push the
+			// half to the parent, add the pin load. Every slot is assigned
+			// before anything accumulates into it, so no state leaks from
+			// the previous corner.
+			rPer, cPer := tm.Tech.WireR(k), tm.Tech.WireC(k)
+			f.Cap[0] = 0
+			for i := 1; i < f.Len(); i++ {
+				w := bs.seg[i] * cPer
+				half := w / 2
+				f.Res[i] = bs.seg[i] * rPer
+				f.Cap[i] = w - half
+				f.Cap[f.Parent[i]] += half
+				f.Cap[i] += bs.load[i]
+			}
+		}
+		ev.totalCap[k] = f.TotalCap()
+		m1, m2 := f.Moments()
+		for i := 0; i < S; i++ {
+			// Walk step i created π-section nodes 2i+1 (near) and 2i+2
+			// (far); ids[i] sits at the far end.
+			ri := 2*i + 2
+			ev.m1[k*S+i] = m1[ri]
+			ev.m2[k*S+i] = m2[ri]
+		}
+	}
+	return ev
+}
+
+// resolveFlatEval returns the net's all-corner view: a cache hit when
+// the topology hash is known, one batched build otherwise. Concurrent
+// misses on the same net may build duplicate (identical) views; the
+// counters are schedule-dependent under such races, the values never.
+func (tm *Timer) resolveFlatEval(cache *NetCache, tr *ctree.Tree, d ctree.NodeID, sc *flatScratch) *flatNetEval {
+	var h uint64
+	h, sc.hstack = flatNetHash(tr, d, sc.hstack)
+	if ev := cache.get(h); ev != nil {
+		tm.cacheHits.Add(1)
+		return ev
+	}
+	tm.cacheMisses.Add(1)
+	bs := buildScratchPool.Get().(*buildScratch)
+	ev := tm.buildFlatNetEval(tr, d, bs)
+	buildScratchPool.Put(bs)
+	cache.put(h, ev, &tm.cacheEvicts)
+	return ev
+}
+
+// appendDrivingNodes is drivingNodes into pooled scratch: the identical
+// preorder DFS and filter, no allocation once warm.
+func (tm *Timer) appendDrivingNodes(tr *ctree.Tree, sc *flatScratch) []drivingNode {
+	sc.nstack = append(sc.nstack[:0], tr.Source)
+	out := sc.drivers[:0]
+	for len(sc.nstack) > 0 {
+		id := sc.nstack[len(sc.nstack)-1]
+		sc.nstack = sc.nstack[:len(sc.nstack)-1]
+		node := tr.Node(id)
+		for i := len(node.Children) - 1; i >= 0; i-- {
+			sc.nstack = append(sc.nstack, node.Children[i])
+		}
+		if node.Kind != ctree.KindSource && node.Kind != ctree.KindBuffer {
+			continue
+		}
+		cell := tm.Tech.CellByName(node.CellName)
+		if cell == nil {
+			panic(fmt.Sprintf("sta: unknown cell %q at node %d", node.CellName, id))
+		}
+		out = append(out, drivingNode{id: id, cell: cell})
+	}
+	sc.drivers = out
+	return out
+}
+
+// appendSinks is Tree.Sinks into caller-owned storage.
+func appendSinks(tr *ctree.Tree, out []ctree.NodeID) []ctree.NodeID {
+	for _, n := range tr.Nodes {
+		if n != nil && n.Kind == ctree.KindSink {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// appendNetNodes is netNodes into caller-owned storage: the identical
+// transparent-tap walk order.
+func appendNetNodes(tr *ctree.Tree, id ctree.NodeID, out, stack []ctree.NodeID) (nets, st []ctree.NodeID) {
+	n := tr.Node(id)
+	stack = append(stack, n.Children...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := tr.Node(cur)
+		if c == nil {
+			continue
+		}
+		out = append(out, cur)
+		if c.Kind == ctree.KindTap {
+			stack = append(stack, c.Children...)
+		}
+	}
+	return out, stack
+}
+
+// initCorner NaN-fills one corner's rows and seeds the source, exactly
+// as the legacy per-corner prologue does.
+func (tm *Timer) initCorner(tr *ctree.Tree, a *Analysis, k int) {
+	arr, slw := a.Arrive[k], a.Slew[k]
+	for i := range arr {
+		arr[i] = math.NaN()
+		slw[i] = math.NaN()
+	}
+	arr[tr.Source] = 0
+	slw[tr.Source] = tm.SourceSlew
+}
+
+// maxSinkLat reduces sink arrivals exactly like the legacy epilogue.
+func maxSinkLat(arr []float64, sinks []ctree.NodeID) float64 {
+	var m float64
+	for _, s := range sinks {
+		if v := arr[s]; !math.IsNaN(v) && v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// propagateNet writes one net's arrivals and slews at one corner — the
+// legacy timeNet loop over the corner-major moment rows.
+func (tm *Timer) propagateNet(ev *flatNetEval, a *Analysis, k int, arrIn, dly, outSlew float64) {
+	S := len(ev.ids)
+	m1s := ev.m1[k*S : (k+1)*S]
+	m2s := ev.m2[k*S : (k+1)*S]
+	arr, slw := a.Arrive[k], a.Slew[k]
+	for i, nid := range ev.ids {
+		m1, m2 := m1s[i], m2s[i]
+		var wire float64
+		switch tm.Wire {
+		case WireElmore:
+			wire = m1
+		default:
+			wire = rctree.D2M(m1, m2)
+		}
+		arr[nid] = arrIn + dly + wire
+		slw[nid] = rctree.PERISlew(outSlew, rctree.StepSlew(m1, m2))
+	}
+}
+
+// timeNetFlat is timeNet over a resolved view.
+func (tm *Timer) timeNetFlat(dr *drivingNode, ev *flatNetEval, a *Analysis, k int) {
+	slewIn := a.Slew[k][dr.id]
+	dly, outSlew := PairDelay(tm.Tech, dr.cell, k, slewIn, ev.totalCap[k])
+	tm.propagateNet(ev, a, k, a.Arrive[k][dr.id], dly, outSlew)
+}
+
+// PairDelayBatch evaluates the golden inverter-pair model for every
+// corner of one (driver, net) pair in a single call: slewIn[k] and
+// loadFF[k] give the per-corner inputs, delay[k]/outSlew[k] receive the
+// results. Each corner runs exactly the scalar PairDelay operations, so
+// the batch is bit-identical to K scalar calls by construction; batching
+// exists so the driver-major kernel touches each (driver, net) pair once.
+func PairDelayBatch(t *tech.Tech, cell *tech.Cell, slewIn, loadFF, delay, outSlew []float64) {
+	for k := range delay {
+		delay[k], outSlew[k] = PairDelay(t, cell, k, slewIn[k], loadFF[k])
+	}
+}
+
+// analyzeFlat is the flat-kernel Analyze. Net views are resolved up
+// front — one hash per (driver, analysis), one all-corner build per
+// miss — so propagation never touches the cache.
+func (tm *Timer) analyzeFlat(tr *ctree.Tree) *Analysis {
+	K := tm.Tech.NumCorners()
+	n := len(tr.Nodes)
+	sc := getFlatScratch()
+	drivers := tm.appendDrivingNodes(tr, sc)
+	sc.sinks = appendSinks(tr, sc.sinks[:0])
+	sinks := sc.sinks
+	cache := tm.flatcache()
+	evals := sc.evals[:0]
+	for i := range drivers {
+		evals = append(evals, tm.resolveFlatEval(cache, tr, drivers[i].id, sc))
+	}
+	sc.evals = evals
+
+	a := getAnalysis(K, n)
+	var sp *obs.Span
+	if tm.Obs != nil {
+		sp = tm.Obs.StartSpan("sta.analyze", obs.I("corners", K), obs.I("drivers", len(drivers)))
+		tm.Obs.Counter("sta.analyses").Inc()
+	}
+	if tm.Workers <= 1 || K <= 1 {
+		tm.analyzeFlatDriverMajor(tr, sc, a, sp)
+	} else {
+		tm.forEachCorner(K, func(k int) {
+			var csp *obs.Span
+			if sp != nil {
+				csp = sp.StartChild("sta.corner", obs.I("corner", k))
+			}
+			tm.initCorner(tr, a, k)
+			for i := range drivers {
+				tm.timeNetFlat(&drivers[i], evals[i], a, k)
+			}
+			a.MaxLat[k] = maxSinkLat(a.Arrive[k], sinks)
+			csp.End()
+		})
+	}
+	sp.End()
+	putFlatScratch(sc)
+	return a
+}
+
+// analyzeFlatDriverMajor propagates all corners driver by driver: one
+// PairDelayBatch per (driver, net) pair. Corner values never interact,
+// so the result is bit-identical to the corner-major order; the serial
+// default takes this path for its batching and locality.
+func (tm *Timer) analyzeFlatDriverMajor(tr *ctree.Tree, sc *flatScratch, a *Analysis, sp *obs.Span) {
+	K := a.K
+	for k := 0; k < K; k++ {
+		tm.initCorner(tr, a, k)
+	}
+	if cap(sc.batch) < 4*K {
+		sc.batch = make([]float64, 4*K)
+	}
+	b := sc.batch[:4*K]
+	slewIn, load, dly, oslw := b[:K], b[K:2*K], b[2*K:3*K], b[3*K:]
+	for i := range sc.drivers {
+		dr := &sc.drivers[i]
+		ev := sc.evals[i]
+		for k := 0; k < K; k++ {
+			slewIn[k] = a.Slew[k][dr.id]
+			load[k] = ev.totalCap[k]
+		}
+		PairDelayBatch(tm.Tech, dr.cell, slewIn, load, dly, oslw)
+		for k := 0; k < K; k++ {
+			tm.propagateNet(ev, a, k, a.Arrive[k][dr.id], dly[k], oslw[k])
+		}
+	}
+	for k := 0; k < K; k++ {
+		var csp *obs.Span
+		if sp != nil {
+			csp = sp.StartChild("sta.corner", obs.I("corner", k))
+		}
+		a.MaxLat[k] = maxSinkLat(a.Arrive[k], sc.sinks)
+		csp.End()
+	}
+}
+
+// analyzeIncrementalFlat mirrors the legacy incremental pass over flat
+// views: identical baseline copy, per-corner full/offset decisions, and
+// offset arithmetic. Dirty nets hash to new values and miss; clean nets
+// hit their existing views.
+func (tm *Timer) analyzeIncrementalFlat(tr *ctree.Tree, base *Analysis, dirty []ctree.NodeID) *Analysis {
+	K := tm.Tech.NumCorners()
+	n := len(tr.Nodes)
+	recompute := make(map[ctree.NodeID]bool, 2*len(dirty))
+	for _, d := range dirty {
+		node := tr.Node(d)
+		if node == nil {
+			continue
+		}
+		if node.Kind == ctree.KindSource || node.Kind == ctree.KindBuffer {
+			recompute[d] = true
+		}
+		if drv := tr.Driver(d); drv != ctree.NoNode {
+			recompute[drv] = true
+		}
+	}
+	sc := getFlatScratch()
+	drivers := tm.appendDrivingNodes(tr, sc)
+	sc.sinks = appendSinks(tr, sc.sinks[:0])
+	sinks := sc.sinks
+	cache := tm.flatcache()
+	a := getAnalysis(K, n)
+	var sp *obs.Span
+	if tm.Obs != nil {
+		sp = tm.Obs.StartSpan("sta.analyze_inc", obs.I("corners", K), obs.I("dirty", len(dirty)))
+		tm.Obs.Counter("sta.analyses_incremental").Inc()
+	}
+	tm.forEachCorner(K, func(k int) {
+		var csp *obs.Span
+		if sp != nil {
+			csp = sp.StartChild("sta.corner", obs.I("corner", k))
+		}
+		defer csp.End()
+		// Per-corner scratch: the corner workers race, so each takes its
+		// own pooled hash stack and walk buffers.
+		ls := getFlatScratch()
+		defer putFlatScratch(ls)
+		arr, slw := a.Arrive[k], a.Slew[k]
+		var bArr, bSlw []float64
+		if k < base.K {
+			bArr, bSlw = base.Arrive[k], base.Slew[k]
+		}
+		for i := 0; i < n; i++ {
+			if bArr != nil && i < len(bArr) {
+				arr[i], slw[i] = bArr[i], bSlw[i]
+			} else {
+				arr[i], slw[i] = math.NaN(), math.NaN()
+			}
+		}
+		arr[tr.Source] = 0
+		slw[tr.Source] = tm.SourceSlew
+
+		baseAt := func(id ctree.NodeID) (arrB, slewB float64, ok bool) {
+			if bArr == nil || int(id) >= len(bArr) {
+				return 0, 0, false
+			}
+			arrB, slewB = bArr[id], bSlw[id]
+			return arrB, slewB, !math.IsNaN(arrB)
+		}
+
+		for di := range drivers {
+			dr := &drivers[di]
+			id := dr.id
+			needFull := recompute[id]
+			var delta float64
+			if !needFull {
+				bA, bS, ok := baseAt(id)
+				switch {
+				case !ok, math.Abs(slw[id]-bS) > slewConvergedEps:
+					needFull = true
+				default:
+					delta = arr[id] - bA
+				}
+			}
+			if needFull {
+				tm.timeNetFlat(dr, tm.resolveFlatEval(cache, tr, id, ls), a, k)
+				continue
+			}
+			// Arrival-offset fast path — see AnalyzeIncremental.
+			if delta == 0 {
+				continue
+			}
+			ok := true
+			ls.nets, ls.nstack = appendNetNodes(tr, id, ls.nets[:0], ls.nstack[:0])
+			for _, nid := range ls.nets {
+				bA, bS, present := baseAt(nid)
+				if !present {
+					ok = false
+					break
+				}
+				arr[nid] = bA + delta
+				slw[nid] = bS
+			}
+			if !ok {
+				tm.timeNetFlat(dr, tm.resolveFlatEval(cache, tr, id, ls), a, k)
+			}
+		}
+		a.MaxLat[k] = maxSinkLat(arr, sinks)
+	})
+	sp.End()
+	putFlatScratch(sc)
+	return a
+}
+
+// analysisPool recycles Analysis values with their backing arrays; one
+// contiguous float64 block carries every corner's arrival row, slew row,
+// and the MaxLat vector.
+var analysisPool = sync.Pool{New: func() interface{} { return new(Analysis) }}
+
+// getAnalysis returns a pooled Analysis for K corners over n node slots.
+// Rows are full-capacity sub-slices of one buffer, so releasing the
+// Analysis releases everything. Rows are NOT cleared here — every flat
+// path NaN-initializes or baseline-copies each corner before reading.
+func getAnalysis(K, n int) *Analysis {
+	a := analysisPool.Get().(*Analysis)
+	need := K * (2*n + 1)
+	if cap(a.buf) < need {
+		a.buf = make([]float64, need)
+	}
+	a.buf = a.buf[:need]
+	if cap(a.rows) < 2*K {
+		a.rows = make([][]float64, 2*K)
+	}
+	a.rows = a.rows[:2*K]
+	a.K = K
+	a.Arrive = a.rows[:K:K]
+	a.Slew = a.rows[K : 2*K : 2*K]
+	for k := 0; k < K; k++ {
+		a.Arrive[k] = a.buf[k*n : (k+1)*n : (k+1)*n]
+		a.Slew[k] = a.buf[(K+k)*n : (K+k+1)*n : (K+k+1)*n]
+	}
+	a.MaxLat = a.buf[2*K*n : 2*K*n+K : 2*K*n+K]
+	for k := range a.MaxLat {
+		a.MaxLat[k] = 0
+	}
+	return a
+}
+
+// Release returns the Analysis's backing memory to the kernel's pool.
+// Optional: an unreleased Analysis is ordinary garbage. After Release
+// the Analysis and every slice read from it are invalid. No-op for
+// analyses produced by the legacy kernel.
+func (a *Analysis) Release() {
+	if a.buf == nil {
+		return
+	}
+	a.Arrive, a.Slew, a.MaxLat = nil, nil, nil
+	analysisPool.Put(a)
+}
+
+// flatNetLoad is NetLoad through the flat cache.
+func (tm *Timer) flatNetLoad(tr *ctree.Tree, d ctree.NodeID, k int) float64 {
+	cache := tm.flatcache()
+	sc := getFlatScratch()
+	ev := tm.resolveFlatEval(cache, tr, d, sc)
+	putFlatScratch(sc)
+	return ev.totalCap[k]
+}

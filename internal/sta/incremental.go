@@ -30,8 +30,17 @@ const slewConvergedEps = 0.01
 // within the same slew-convergence tolerance as the joint decision.
 //
 // The result is equivalent to Analyze within slew-convergence tolerance
-// (picoseconds-e-3); see the equivalence tests.
+// (picoseconds-e-3); see the equivalence tests. As with Analyze, the
+// flat default kernel and KernelLegacy are bit-identical.
 func (tm *Timer) AnalyzeIncremental(tr *ctree.Tree, base *Analysis, dirty []ctree.NodeID) *Analysis {
+	if tm.Kernel == KernelLegacy {
+		return tm.analyzeIncrementalLegacy(tr, base, dirty)
+	}
+	return tm.analyzeIncrementalFlat(tr, base, dirty)
+}
+
+// analyzeIncrementalLegacy is the retained reference implementation.
+func (tm *Timer) analyzeIncrementalLegacy(tr *ctree.Tree, base *Analysis, dirty []ctree.NodeID) *Analysis {
 	K := tm.Tech.NumCorners()
 	n := len(tr.Nodes)
 	a := &Analysis{K: K, MaxLat: make([]float64, K)}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sta_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates on otherwise alloc-free
+// paths. The absolute allocation gates skip under it; the differential
+// and ratio tests still run.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package sta_test
+
+const raceEnabled = true

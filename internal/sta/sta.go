@@ -63,6 +63,19 @@ type Timer struct {
 	// the field before building any attributes.
 	Obs *obs.Recorder
 
+	// Kernel selects the analysis implementation. The zero value is the
+	// flat SoA kernel (flat.go); KernelLegacy retains the PR 2–7
+	// pointer-chasing implementation as the differential reference. Both
+	// produce bit-identical analyses.
+	Kernel Kernel
+
+	// SharedCache, when non-nil, replaces the timer-owned flat net cache
+	// so identical nets are reused across timers — e.g. across serve
+	// jobs resubmitting the same design. Ignored by KernelLegacy. The
+	// cache checks Tech/Cong identity itself; timers with different
+	// technology views must not share one.
+	SharedCache *NetCache
+
 	// Net-cache traffic counters (see cache.go). They live on the Timer,
 	// not the cache, because the cache object is dropped on technology
 	// change, overflow, and FlushNetCache. Schedule-dependent under
@@ -75,6 +88,7 @@ type Timer struct {
 	cache     *netCache
 	cacheTech *tech.Tech        // Tech identity the cache was built against
 	cacheCong *route.Congestion // ditto for the congestion field
+	fcache    *NetCache         // lazily created flat cache when SharedCache is nil
 }
 
 // New returns a timer over the given technology with golden defaults.
@@ -90,6 +104,11 @@ type Analysis struct {
 	Arrive [][]float64 // [corner][nodeID] arrival (ps) at the node's input
 	Slew   [][]float64 // [corner][nodeID] input slew (ps) at pins
 	MaxLat []float64   // per corner, max sink latency
+
+	// Pooled backing storage (flat kernel only; see getAnalysis). nil for
+	// heap-built analyses — Release is then a no-op.
+	buf  []float64
+	rows [][]float64
 }
 
 // PairDelay returns the golden delay and output slew of an inverter-pair
@@ -167,10 +186,25 @@ func (tm *Timer) timeNet(c *netCache, tr *ctree.Tree, dr *drivingNode, a *Analys
 	}
 }
 
-// Analyze runs a full multi-corner timing pass over the tree. Corners are
-// propagated independently — across Workers goroutines when configured —
-// and each net's RC reduction comes from the hash-validated cache.
+// Analyze runs a full multi-corner timing pass over the tree and returns
+// the per-corner arrivals, slews, and maximum sink latencies. The flat
+// default kernel resolves each driven net's all-corner electrical view
+// through the hash-keyed net cache and propagates from pooled storage —
+// call Release on the result when done to keep the warm path
+// allocation-free (optional; unreleased analyses are ordinary garbage).
+// KernelLegacy selects the retained reference implementation. Results
+// are bit-identical across kernels and Workers settings.
 func (tm *Timer) Analyze(tr *ctree.Tree) *Analysis {
+	if tm.Kernel == KernelLegacy {
+		return tm.analyzeLegacy(tr)
+	}
+	return tm.analyzeFlat(tr)
+}
+
+// analyzeLegacy is the PR 2–7 kernel: per-(net, corner) cached views,
+// corner-major propagation, per-analysis heap allocation. Kept as the
+// differential reference for the flat kernel.
+func (tm *Timer) analyzeLegacy(tr *ctree.Tree) *Analysis {
 	K := tm.Tech.NumCorners()
 	n := len(tr.Nodes)
 	a := &Analysis{K: K, MaxLat: make([]float64, K)}
@@ -321,11 +355,22 @@ func ArcDelays(a *Analysis, seg *ctree.Segmentation) [][]float64 {
 func (tm *Timer) Violations(tr *ctree.Tree) (capViol, slewViol int) {
 	a := tm.Analyze(tr)
 	k := tm.Tech.Nominal
-	cache := tm.netcache()
-	for _, dr := range tm.drivingNodes(tr) {
-		if tm.evalNet(cache, tr, dr.id, k).totalCap > tm.Tech.MaxLoad {
-			capViol++
+	if tm.Kernel == KernelLegacy {
+		cache := tm.netcache()
+		for _, dr := range tm.drivingNodes(tr) {
+			if tm.evalNet(cache, tr, dr.id, k).totalCap > tm.Tech.MaxLoad {
+				capViol++
+			}
 		}
+	} else {
+		cache := tm.flatcache()
+		sc := getFlatScratch()
+		for _, dr := range tm.appendDrivingNodes(tr, sc) {
+			if tm.resolveFlatEval(cache, tr, dr.id, sc).totalCap[k] > tm.Tech.MaxLoad {
+				capViol++
+			}
+		}
+		putFlatScratch(sc)
 	}
 	for _, s := range tr.Sinks() {
 		if a.Slew[k][s] > tm.Tech.MaxSlew {
@@ -339,7 +384,10 @@ func (tm *Timer) Violations(tr *ctree.Tree) (capViol, slewViol int) {
 // by node d at corner k. Exposed for the CTS buffer-insertion rules and the
 // ECO engine.
 func (tm *Timer) NetLoad(tr *ctree.Tree, d ctree.NodeID, k int) float64 {
-	return tm.evalNet(tm.netcache(), tr, d, k).totalCap
+	if tm.Kernel == KernelLegacy {
+		return tm.evalNet(tm.netcache(), tr, d, k).totalCap
+	}
+	return tm.flatNetLoad(tr, d, k)
 }
 
 // SkewGuard returns the acceptance ceiling for a local-skew value under the

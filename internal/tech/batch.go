@@ -1,0 +1,56 @@
+package tech
+
+// Batched NLDM interpolation: one (slew, load) query answered for every
+// corner of a cell in a single pass. SubCorners re-slices table pointers
+// and characterization reuses one axis grid per cell, so in practice all
+// corners of a cell share the same slew/load axes — the batch path then
+// runs the binary-search locate once and only the bilinear blend per
+// corner. Corners with private axes fall back to a per-corner locate.
+// Either way every corner's result is computed with exactly the scalar
+// Lookup's operations, so batch and scalar are bit-identical (enforced
+// by batch_test.go).
+
+// sameAxis reports whether two axes are the same backing array.
+func sameAxis(a, b []float64) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// lookupBatch fills out[k] = tables[k].Lookup(slew, load), sharing the
+// axis locate across tables with identical axes.
+func lookupBatch(tables []*Table2D, slew, load float64, out []float64) {
+	if len(tables) == 0 {
+		return
+	}
+	t0 := tables[0]
+	i0 := locate(t0.SlewAxis, slew)
+	j0 := locate(t0.LoadAxis, load)
+	for k, t := range tables {
+		i, j := i0, j0
+		if t != t0 && (!sameAxis(t.SlewAxis, t0.SlewAxis) || !sameAxis(t.LoadAxis, t0.LoadAxis)) {
+			i = locate(t.SlewAxis, slew)
+			j = locate(t.LoadAxis, load)
+		}
+		s0, s1 := t.SlewAxis[i], t.SlewAxis[i+1]
+		l0, l1 := t.LoadAxis[j], t.LoadAxis[j+1]
+		fs := (slew - s0) / (s1 - s0)
+		fl := (load - l0) / (l1 - l0)
+		v00 := t.Vals[i][j]
+		v01 := t.Vals[i][j+1]
+		v10 := t.Vals[i+1][j]
+		v11 := t.Vals[i+1][j+1]
+		out[k] = v00*(1-fs)*(1-fl) + v01*(1-fs)*fl + v10*fs*(1-fl) + v11*fs*fl
+	}
+}
+
+// TableDelayBatchPS fills out[k] with the NLDM-interpolated gate delay
+// at every corner for one (slew, load) query — bit-identical to calling
+// TableDelayPS per corner, with the axis locate shared.
+func (c *Cell) TableDelayBatchPS(slewIn, load float64, out []float64) {
+	lookupBatch(c.Delay, slewIn, load, out)
+}
+
+// TableOutSlewBatchPS is the output-slew counterpart of
+// TableDelayBatchPS.
+func (c *Cell) TableOutSlewBatchPS(slewIn, load float64, out []float64) {
+	lookupBatch(c.OutSlew, slewIn, load, out)
+}

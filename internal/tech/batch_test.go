@@ -1,0 +1,89 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBatchLookupBitIdentical sweeps queries across and beyond the axis
+// range for every cell of the default technology (and a SubCorners view,
+// which shares table pointers) and asserts the batched interpolation is
+// bitwise equal to the scalar per-corner path.
+func TestBatchLookupBitIdentical(t *testing.T) {
+	base := Default28nm()
+	view, err := base.SubCorners("c0", "c1", "c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slews := []float64{0.1, 5, 12.5, 40, 333.3, 640, 2000}
+	loads := []float64{0.1, 0.5, 3.7, 64, 255.9, 256, 1e4}
+	for _, th := range []*Tech{base, view} {
+		K := th.NumCorners()
+		out := make([]float64, K)
+		for _, c := range th.Cells {
+			for _, s := range slews {
+				for _, l := range loads {
+					c.TableDelayBatchPS(s, l, out)
+					for k := 0; k < K; k++ {
+						want := c.TableDelayPS(k, s, l)
+						if math.Float64bits(out[k]) != math.Float64bits(want) {
+							t.Fatalf("%s delay corner %d at (%g,%g): batch %v scalar %v",
+								c.Name, k, s, l, out[k], want)
+						}
+					}
+					c.TableOutSlewBatchPS(s, l, out)
+					for k := 0; k < K; k++ {
+						want := c.TableOutSlewPS(k, s, l)
+						if math.Float64bits(out[k]) != math.Float64bits(want) {
+							t.Fatalf("%s slew corner %d at (%g,%g): batch %v scalar %v",
+								c.Name, k, s, l, out[k], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchLookupPrivateAxes forces the fallback path: tables whose axes
+// are equal by value but not by identity must still match scalar.
+func TestBatchLookupPrivateAxes(t *testing.T) {
+	mk := func() *Table2D {
+		return &Table2D{
+			SlewAxis: []float64{5, 10, 20},
+			LoadAxis: []float64{1, 2, 4, 8},
+			Vals: [][]float64{
+				{1, 2, 3, 4},
+				{2, 4, 6, 8},
+				{3, 6, 9, 12},
+			},
+		}
+	}
+	a, b := mk(), mk()
+	b.Vals[1][1] = 17
+	out := make([]float64, 2)
+	for _, q := range [][2]float64{{7, 1.5}, {0, 0}, {100, 100}, {12, 3}} {
+		lookupBatch([]*Table2D{a, b}, q[0], q[1], out)
+		for k, tab := range []*Table2D{a, b} {
+			want := tab.Lookup(q[0], q[1])
+			if math.Float64bits(out[k]) != math.Float64bits(want) {
+				t.Fatalf("table %d at %v: batch %v scalar %v", k, q, out[k], want)
+			}
+		}
+	}
+}
+
+// TestBatchLookupZeroAlloc pins the batch path to zero allocations — the
+// reason it exists.
+func TestBatchLookupZeroAlloc(t *testing.T) {
+	th := Default28nm()
+	c := th.Cells[2]
+	out := make([]float64, th.NumCorners())
+	allocs := testing.AllocsPerRun(100, func() {
+		c.TableDelayBatchPS(23.5, 17.2, out)
+		c.TableOutSlewBatchPS(23.5, 17.2, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch lookup allocates %.1f/op, want 0", allocs)
+	}
+}
