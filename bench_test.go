@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"skewvar/internal/obs"
 	"skewvar/internal/power"
 	"skewvar/internal/route"
+	"skewvar/internal/serve"
 	"skewvar/internal/sta"
 	"skewvar/internal/testgen"
 )
@@ -701,9 +703,17 @@ func BenchmarkAblationLocalBudget(b *testing.B) {
 // GroupAppender across the batch sweep (fsync blocks in a syscall, so the
 // contention that forms batches needs goroutines, not CPUs). batch=1 is
 // the fsync-per-line baseline skewd shipped with; the OBSMETRIC line
-// records how many fsyncs each appended line actually cost.
+// records how many fsyncs each appended line actually cost. Each
+// iteration checksum-frames its line before appending, exactly as the
+// skewd journal does, so the pr9→pr10 diff of this benchmark bounds what
+// the CRC32C envelope costs on the append path (the bench-gate holds it
+// to <= 1.15x against the unframed pr9 numbers).
 func BenchmarkGroupCommitParallel(b *testing.B) {
-	line := []byte(`{"seq":1,"kind":"submit","job":"j000001","spec":{"flow":"local","pairs":40}}`)
+	payload := []byte(`{"seq":1,"kind":"submit","job":"j000001","spec":{"flow":"local","pairs":40}}`)
+	framed, err := atomicio.EncodeFrame(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, cfg := range []struct {
 		name   string
 		batch  int
@@ -719,11 +729,16 @@ func BenchmarkGroupCommitParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.SetBytes(int64(len(line) + 1))
+			b.SetBytes(int64(len(framed) + 1))
 			b.SetParallelism(8)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
+					line, err := atomicio.EncodeFrame(payload)
+					if err != nil {
+						b.Error(err)
+						return
+					}
 					if err := g.AppendLine(line); err != nil {
 						b.Error(err)
 						return
@@ -738,6 +753,74 @@ func BenchmarkGroupCommitParallel(b *testing.B) {
 			if err := g.Close(); err != nil {
 				b.Fatal(err)
 			}
+		})
+	}
+}
+
+// BenchmarkJournalReplayParallel measures spool recovery — the scan,
+// checksum-verify, decode, and fold of a full journal into the admitted
+// set — over a 1024-job (3072-record) spool, in both on-disk formats:
+// framed lines pay the CRC32C verification, legacy lines only the format
+// sniff. Parallel goroutines each replay the whole spool (replay is
+// read-only), matching a coordinator auditing many replica spools at
+// once; ns/op is one full replay and MB/s the verified journal
+// throughput.
+func BenchmarkJournalReplayParallel(b *testing.B) {
+	const jobs = 1024
+	build := func(framed bool) ([]byte, int64) {
+		var buf []byte
+		seq := 0
+		add := func(format string, args ...interface{}) {
+			seq++
+			line := []byte(fmt.Sprintf(`{"seq":%d,`+format+`}`, append([]interface{}{seq}, args...)...))
+			if framed {
+				f, err := atomicio.EncodeFrame(line)
+				if err != nil {
+					b.Fatal(err)
+				}
+				line = f
+			}
+			buf = append(buf, line...)
+			buf = append(buf, '\n')
+		}
+		for i := 0; i < jobs; i++ {
+			id := fmt.Sprintf("j%06d", i)
+			add(`"kind":"submit","job":%q,"spec":{"flow":"local","pairs":40}`, id)
+			add(`"kind":"start","job":%q`, id)
+			add(`"kind":"finish","job":%q,"state":"done"`, id)
+		}
+		return buf, int64(len(buf))
+	}
+	for _, cfg := range []struct {
+		name   string
+		framed bool
+	}{
+		{"framed", true},
+		{"legacy", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			dir := b.TempDir()
+			buf, size := build(cfg.framed)
+			if err := os.WriteFile(filepath.Join(dir, "jobs.journal"), buf, 0o644); err != nil {
+				b.Fatal(err)
+			}
+			jj, err := serve.ReadJournalJobs(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(jj) != jobs {
+				b.Fatalf("replay folded %d jobs, want %d", len(jj), jobs)
+			}
+			b.SetBytes(size)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := serve.ReadJournalJobs(dir); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
 		})
 	}
 }

@@ -59,6 +59,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "drain budget before in-flight jobs are canceled and suspended")
 	journalBatch := flag.Int("journal-batch", 1, "journal group-commit batch size (1 = fsync per record)")
 	journalWindow := flag.Duration("journal-window", 0, "max wait for a journal batch to fill before flushing anyway")
+	compactEvery := flag.Int("compact-every", 0, "journal records between snapshot compactions (0 = default 256, negative disables)")
 	rate := flag.Float64("rate", 0, "per-tenant admission rate limit in jobs/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-tenant admission burst (default: ceil of -rate)")
 	modelPath := flag.String("model", "", "trained model bundle (from trainml); trains a quick model if empty")
@@ -90,6 +91,7 @@ func main() {
 		DrainTimeout:  *drainTimeout,
 		JournalBatch:  *journalBatch,
 		JournalWindow: *journalWindow,
+		CompactEvery:  *compactEvery,
 		RatePerTenant: *rate,
 		RateBurst:     *burst,
 		Tech:          tech,

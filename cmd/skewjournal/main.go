@@ -1,0 +1,116 @@
+// Command skewjournal inspects and repairs skewd spool directories: the
+// checksummed job journal, its snapshot, and the quarantine file the
+// scrubber maintains (docs/ROBUSTNESS.md, "Durable storage format").
+//
+// Usage:
+//
+//	skewjournal inspect -spool ./spool          spool summary + per-job states (JSON)
+//	skewjournal verify  -spool ./spool          check every frame, mutate nothing
+//	skewjournal compact -spool ./spool          fold the journal into the snapshot
+//	skewjournal repair  -spool ./spool          quarantine rot, heal tears and half-swaps
+//
+// verify exits 0 on a spool that is byte-perfect, 1 when damage was found
+// (the report says what a repair would do), and 2 on usage errors or a
+// spool that cannot be loaded at all — e.g. a corrupt snapshot, which is
+// not locally repairable because the compacted-away records exist nowhere
+// else. compact and repair require the owning daemon to be stopped: both
+// rewrite spool files and assume a quiescent single writer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"skewvar/internal/serve"
+)
+
+const (
+	exitDamage = 1
+	exitUsage  = 2
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: skewjournal {inspect|verify|compact|repair} -spool DIR\n")
+	os.Exit(exitUsage)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("skewjournal "+cmd, flag.ExitOnError)
+	spool := fs.String("spool", "", "skewd spool directory (required)")
+	jobs := fs.Bool("jobs", false, "inspect: also list per-job folded states")
+	fs.Parse(os.Args[2:])
+	if *spool == "" {
+		fmt.Fprintf(os.Stderr, "skewjournal %s: -spool is required\n", cmd)
+		os.Exit(exitUsage)
+	}
+	// A spool with no journal yet is legitimately empty, but a directory
+	// that does not exist is a typo'd path — refuse rather than report a
+	// pristine empty spool.
+	if fi, err := os.Stat(*spool); err != nil || !fi.IsDir() {
+		fatalf("%s: not a spool directory (%v)", *spool, err)
+	}
+
+	switch cmd {
+	case "inspect":
+		rep, jj, err := serve.InspectSpool(*spool)
+		if err != nil {
+			fatalf("inspect %s: %v", *spool, err)
+		}
+		out := map[string]interface{}{"spool": *spool, "report": rep}
+		if *jobs {
+			list := make([]map[string]interface{}, 0, len(jj))
+			for _, j := range jj {
+				list = append(list, map[string]interface{}{
+					"id": j.ID, "state": j.State, "terminal": j.Terminal,
+					"stolen": j.Stolen, "thief": j.Thief,
+					"attempts": j.Status.Attempts, "class": j.Status.Class,
+				})
+			}
+			out["jobs"] = list
+		}
+		emit(out)
+	case "verify":
+		rep, err := serve.VerifySpool(*spool)
+		if err != nil {
+			fatalf("verify %s: %v", *spool, err)
+		}
+		emit(map[string]interface{}{"spool": *spool, "report": rep})
+		if rep.Quarantined > 0 || rep.TornHealed || rep.StaleHealed {
+			fmt.Fprintf(os.Stderr, "skewjournal: %s has damage a repair would fix\n", *spool)
+			os.Exit(exitDamage)
+		}
+	case "compact":
+		rep, err := serve.CompactSpool(*spool)
+		if err != nil {
+			fatalf("compact %s: %v", *spool, err)
+		}
+		emit(map[string]interface{}{"spool": *spool, "report": rep})
+	case "repair":
+		rep, err := serve.RepairSpool(*spool)
+		if err != nil {
+			fatalf("repair %s: %v", *spool, err)
+		}
+		emit(map[string]interface{}{"spool": *spool, "report": rep})
+	default:
+		usage()
+	}
+}
+
+func emit(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("encoding output: %v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "skewjournal: "+format+"\n", args...)
+	os.Exit(exitUsage)
+}

@@ -300,7 +300,7 @@ func TestSkewdKill9Resume(t *testing.T) {
 
 // TestSkewdFaultMatrix drives each service-level fault hook end to end
 // and pins the documented HTTP status / job state for each: a dead
-// journal rejects submits with 500, a panicking worker fails only its
+// journal rejects submits with 507, a panicking worker fails only its
 // own job, a wedged job is canceled at its deadline — and the daemon
 // survives all of it.
 func TestSkewdFaultMatrix(t *testing.T) {
@@ -320,12 +320,15 @@ func TestSkewdFaultMatrix(t *testing.T) {
 		return m
 	}
 
-	t.Run("journal-write-failure-rejects-500", func(t *testing.T) {
+	t.Run("journal-write-failure-rejects-507", func(t *testing.T) {
 		p := startSkewd(t, bin, "-spool", filepath.Join(tmp, "spool-journal"),
 			"-model", model, "-faults", "job-journal-write")
 		code, body, _ := submitJob(t, p.url, jobReq(nil))
-		if code != http.StatusInternalServerError {
-			t.Fatalf("submit with dead journal: HTTP %d (want 500), body %v", code, body)
+		if code != http.StatusInsufficientStorage {
+			t.Fatalf("submit with dead journal: HTTP %d (want 507), body %v", code, body)
+		}
+		if body["class"] != "storage" {
+			t.Errorf("rejection class %v, want storage", body["class"])
 		}
 		resp, err := http.Get(p.url + "/healthz")
 		if err != nil {

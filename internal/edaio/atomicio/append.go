@@ -29,19 +29,25 @@ var ErrLineBreak = errors.New("journal line contains a newline")
 // holds one lock across its append-with-retry loop). For concurrent
 // callers and batched fsyncs see GroupAppender.
 type Appender struct {
-	f     *os.File
+	f     File
 	off   int64 // end of the last fully written line
 	dirty bool  // bytes written since the last successful fsync
 	syncs int64 // successful fsyncs issued (observable cost of durability)
 }
 
-// OpenAppender opens (or creates) path for appending. A torn final line
-// from a previous crash (the file not ending in '\n') is truncated away,
-// so the first append lands directly after the last complete line and
-// never concatenates onto torn bytes. Callers replaying the journal read
-// it before opening the appender.
+// OpenAppender opens (or creates) path for appending on the real
+// filesystem. A torn final line from a previous crash (the file not
+// ending in '\n') is truncated away, so the first append lands directly
+// after the last complete line and never concatenates onto torn bytes.
+// Callers replaying the journal read it before opening the appender.
 func OpenAppender(path string) (*Appender, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenAppenderFS(OS, path)
+}
+
+// OpenAppenderFS is OpenAppender against an explicit filesystem —
+// storage-fault tests pass a WithFaults wrapper here.
+func OpenAppenderFS(fsys FS, path string) (*Appender, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("edaio: opening journal %s: %w", path, err)
 	}
@@ -55,7 +61,7 @@ func OpenAppender(path string) (*Appender, error) {
 
 // healTornTail truncates an unterminated final line and returns the end
 // offset of the newline-terminated prefix.
-func healTornTail(f *os.File) (int64, error) {
+func healTornTail(f File) (int64, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return 0, err

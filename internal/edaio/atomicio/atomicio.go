@@ -7,7 +7,6 @@ package atomicio
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 )
 
@@ -18,8 +17,15 @@ import (
 // untouched. This is the write primitive behind flow checkpoints, where a
 // torn write would make a resume worse than no checkpoint at all.
 func WriteFile(path string, write func(io.Writer) error) (err error) {
+	return WriteFileFS(OS, path, write)
+}
+
+// WriteFileFS is WriteFile against an explicit filesystem — the seam
+// through which storage-fault tests drive ENOSPC, fsync failures, and
+// torn renames into the atomic-write protocol.
+func WriteFileFS(fsys FS, path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("edaio: creating temp file in %s: %w", dir, err)
 	}
@@ -27,7 +33,7 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmpName)
+			fsys.Remove(tmpName)
 		}
 	}()
 	// CreateTemp opens 0600, which would survive the rename; the result is a
@@ -44,7 +50,8 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("edaio: closing %s: %w", tmpName, err)
 	}
-	if err = os.Rename(tmpName, path); err != nil {
+	if err = fsys.Rename(tmpName, path); err != nil {
+		// The deferred cleanup removes the orphaned temp file.
 		return fmt.Errorf("edaio: renaming %s -> %s: %w", tmpName, path, err)
 	}
 	return nil

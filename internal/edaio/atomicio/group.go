@@ -32,7 +32,7 @@ import (
 // behind stray partial bytes. Offset always reports the durable tail —
 // it never moves on a failed or rolled-back batch.
 type GroupAppender struct {
-	f    *os.File
+	f    File
 	opts GroupOptions
 
 	mu       sync.Mutex
@@ -115,10 +115,17 @@ var ErrAppenderDead = errors.New("edaio: journal appender is dead (crashed or cl
 // wraps ErrAppenderDead so callers can test for one sentinel.
 var errInjectedCrash = fmt.Errorf("edaio: injected flush crash: %w", ErrAppenderDead)
 
-// OpenGroupAppender opens (or creates) path for group-commit appending,
-// healing a torn final line exactly as OpenAppender does.
+// OpenGroupAppender opens (or creates) path for group-commit appending
+// on the real filesystem, healing a torn final line exactly as
+// OpenAppender does.
 func OpenGroupAppender(path string, opts GroupOptions) (*GroupAppender, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenGroupAppenderFS(OS, path, opts)
+}
+
+// OpenGroupAppenderFS is OpenGroupAppender against an explicit
+// filesystem — storage-fault tests pass a WithFaults wrapper here.
+func OpenGroupAppenderFS(fsys FS, path string, opts GroupOptions) (*GroupAppender, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("edaio: opening journal %s: %w", path, err)
 	}

@@ -81,11 +81,37 @@ const (
 	// threshold exercises suspicion and recovery; a longer run drives a
 	// false-positive death, fencing, and journal steal of a live replica.
 	HeartbeatDelay = "heartbeat-delay"
+
+	// The four storage hooks drive the atomicio fault filesystem
+	// (atomicio.WithFaults); their names equal the atomicio.Fault*
+	// operation constants, so a -faults spec addresses the FS seam
+	// directly. DiskFull fails a journal or snapshot write with ENOSPC
+	// after landing only half of its bytes.
+	DiskFull = "disk-full"
+
+	// FsyncError fails an fsync with EIO: the write may sit in the page
+	// cache, but durability was never acknowledged.
+	FsyncError = "fsync-error"
+
+	// ReadCorrupt flips one bit in data returned by a journal or snapshot
+	// read — silent bit rot that only the frame checksum can catch.
+	ReadCorrupt = "read-corrupt"
+
+	// RenameTorn fails an atomic rename with EIO, leaving the target
+	// untouched — the crash-before-rename half of a snapshot swap.
+	RenameTorn = "rename-torn"
+
+	// CompactCrash simulates kill -9 at a journal-compaction boundary.
+	// Each compaction consults it at every boundary in order (snapshot
+	// written, snapshot renamed, journal written, journal renamed), so
+	// `compact-crash:at=N` selects which boundary the process dies at.
+	CompactCrash = "compact-crash"
 )
 
 // Hooks lists every known hook name.
 var Hooks = []string{LPSolve, NaNDelay, CheckpointWrite, MoveApply, JobJournalWrite, JournalGroupFlush,
-	WorkerPanic, SlowJob, ReplicaCrash, RPCDrop, HeartbeatDelay}
+	WorkerPanic, SlowJob, ReplicaCrash, RPCDrop, HeartbeatDelay,
+	DiskFull, FsyncError, ReadCorrupt, RenameTorn, CompactCrash}
 
 // Spec is one hook's injection plan. Zero-value fields are inactive; a Spec
 // with no active field always fires (used for "always fail" plans). Max, when

@@ -169,9 +169,11 @@ func jobSeq(id string) int {
 // Submit assigns the job an id and dispatches it along the id's ring
 // failover sequence. Candidates that are dead or quarantined are
 // skipped; a queue-bound rejection (serve.ErrBusy) moves on without a
-// breaker penalty; a transport failure penalizes the candidate's
-// breaker and moves on; an invalid spec fails immediately (no replica
-// could ever run it). An ambiguous outcome (ErrAmbiguous) stops the
+// breaker penalty; a storage-degraded replica (resilience.ErrStorage:
+// its journal cannot acknowledge writes) is penalized and skipped like
+// a dead one; a transport failure penalizes the candidate's breaker and
+// moves on; an invalid spec fails immediately (no replica could ever
+// run it). An ambiguous outcome (ErrAmbiguous) stops the
 // walk: the job may be durable on the suspect replica, so it is parked
 // there for the steal pipeline to recover rather than risked on a
 // second admission.
@@ -210,6 +212,14 @@ func (c *Cluster) Submit(ctx context.Context, spec []byte) (serve.JobStatus, str
 			return st, name, nil
 		case errors.Is(err, serve.ErrBusy):
 			c.counter("fleet.dispatch.busy").Add(1)
+		case errors.Is(err, resilience.ErrStorage):
+			// The replica's journal cannot durably acknowledge anything —
+			// ENOSPC, EIO, a poisoned appender. For new work that is a dead
+			// replica, not backpressure: penalize its breaker so the walk
+			// stops consulting it, and fail over to the next candidate.
+			r.breaker.Failure()
+			c.counter("fleet.dispatch.storage_degraded").Add(1)
+			c.cfg.Logf("dispatch %s to %s: storage degraded: %v", id, name, err)
 		case errors.Is(err, resilience.ErrInvalidDesign):
 			c.counter("fleet.jobs.rejected.invalid").Add(1)
 			return serve.JobStatus{}, "", err

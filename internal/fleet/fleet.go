@@ -70,6 +70,12 @@ type Config struct {
 	JournalBatch  int
 	JournalWindow time.Duration
 
+	// CompactEvery is each replica journal's compaction threshold (see
+	// serve.Config.CompactEvery; 0 = the serve default, negative
+	// disables). Steals keep working against a compacted victim: the
+	// snapshot is the fold base its steal records apply over.
+	CompactEvery int
+
 	// HeartbeatEvery is the monitor tick period (default 25ms). Every
 	// tick pings each replica and advances quarantine cooldowns, so the
 	// breaker's call-counted cooldown behaves like a time window.

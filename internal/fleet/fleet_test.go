@@ -667,3 +667,107 @@ func TestGroupCommitStealNoLoss(t *testing.T) {
 		}
 	}
 }
+
+// TestStealFromCompactedReplica kills a replica whose journal has been
+// folded into a snapshot: an aggressive CompactEvery makes every replica
+// compact after its first settled jobs, so the victim's durable state is
+// snapshot + genesis + tail rather than a flat journal. The steal
+// pipeline must recover every job from that shape — terminal jobs
+// adopted from the snapshot base, in-flight ones resumed — exactly as it
+// does from an uncompacted journal.
+func TestStealFromCompactedReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives full optimization flows; skipped in -short (race/cover)")
+	}
+	spool := t.TempDir()
+	c := testCluster(t, spool, func(cfg *Config) { cfg.CompactEvery = 2 })
+	spec := jobSpec(t, nil)
+
+	// Wave 1 settles fully, so every loaded replica crosses the
+	// two-record compaction threshold and snapshots.
+	byOwner := map[string][]string{}
+	var all []string
+	for i := 0; i < 6; i++ {
+		st, owner, err := c.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byOwner[owner] = append(byOwner[owner], st.ID)
+		all = append(all, st.ID)
+	}
+	for _, id := range all {
+		waitState(t, c, id, serve.StateDone)
+	}
+
+	// Pick a victim that owns jobs AND has compacted (snapshot on disk).
+	var victim string
+	deadline := time.Now().Add(30 * time.Second)
+	for victim == "" {
+		for owner, ids := range byOwner {
+			if len(ids) == 0 {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(spool, owner, "jobs.snapshot")); err == nil {
+				victim = owner
+				break
+			}
+		}
+		if victim == "" && time.Now().After(deadline) {
+			t.Fatal("no loaded replica compacted despite CompactEvery=2")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Wave 2 goes out and the victim dies with it in flight, so the steal
+	// walks a compacted spool holding both terminal and live jobs.
+	for i := 0; i < 6; i++ {
+		st, _, err := c.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, st.ID)
+	}
+	if err := c.CrashReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range all {
+		waitState(t, c, id, serve.StateDone)
+	}
+
+	// Admitted-set audit across every spool: each job active (not
+	// stolen-away) in exactly one journal, none lost, none duplicated.
+	active := map[string]int{}
+	for _, ri := range c.Replicas() {
+		jobs, err := serve.ReadJournalJobs(filepath.Join(spool, ri.Name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if !j.Stolen {
+				active[j.ID]++
+			}
+		}
+	}
+	for id, n := range active {
+		if n != 1 {
+			t.Errorf("job %s is active in %d journals, want exactly 1", id, n)
+		}
+	}
+	if len(active) != len(all) {
+		t.Errorf("%d active jobs across journals, want %d", len(active), len(all))
+	}
+
+	// The victim restarts over its compacted, stolen-from spool and
+	// rejoins cleanly.
+	if err := c.RestartReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, serve.StateDone)
+}

@@ -51,6 +51,7 @@ func (c *Cluster) startReplica(r *replica) error {
 		DrainTimeout:  c.cfg.DrainTimeout,
 		JournalBatch:  c.cfg.JournalBatch,
 		JournalWindow: c.cfg.JournalWindow,
+		CompactEvery:  c.cfg.CompactEvery,
 		Tech:          c.cfg.Tech,
 		Char:          c.cfg.Char,
 		Model:         c.cfg.Model,

@@ -47,6 +47,13 @@ var (
 	// analysis (injected or real) detected before it could poison an
 	// acceptance decision.
 	ErrTimer = errors.New("timer corruption")
+
+	// ErrStorage reports durable-storage exhaustion or failure: a journal
+	// append that exhausted retries on ENOSPC/EIO, a poisoned journal, or
+	// a snapshot swap the disk refused. The service degrades (507 at
+	// admission, readyz failing) rather than fabricating acknowledgements;
+	// fleet dispatch routes new work away from the replica.
+	ErrStorage = errors.New("storage failure")
 )
 
 // Canceled converts a context's error into the taxonomy (nil if the context

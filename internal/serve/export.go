@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"skewvar/internal/core"
+	"skewvar/internal/edaio/atomicio"
 	"skewvar/internal/obs"
 	"skewvar/internal/resilience"
 )
@@ -34,9 +35,14 @@ var ErrNotReady = errors.New("server not ready")
 // client, over the in-process transport.
 func (s *Server) StartWorkers() { s.startWorkers() }
 
-// Ready reports whether the server is accepting work: not draining and
-// not crashed.
-func (s *Server) Ready() bool { return !s.draining.Load() && !s.crashed.Load() }
+// Ready reports whether the server is accepting work: not draining, not
+// crashed, and its journal able to durably acknowledge submissions (a
+// poisoned journal — retries exhausted on ENOSPC/EIO, or an appender
+// that could not be reopened after compaction — fails readiness so the
+// fleet routes new work elsewhere).
+func (s *Server) Ready() bool {
+	return !s.draining.Load() && !s.crashed.Load() && s.jl.healthy()
+}
 
 // Stats is a point-in-time view of the server's load, for fleet
 // readiness and placement decisions.
@@ -57,7 +63,7 @@ func (s *Server) Stats() Stats {
 		Running: s.running,
 		Workers: s.active,
 		Jobs:    len(s.order),
-		Ready:   !s.draining.Load() && !s.crashed.Load(),
+		Ready:   !s.draining.Load() && !s.crashed.Load() && s.jl.healthy(),
 	}
 }
 
@@ -84,6 +90,12 @@ func (s *Server) Metrics() obs.Snapshot { return s.cfg.Obs.Snapshot() }
 func (s *Server) Admit(ctx context.Context, id string, spec []byte) (JobStatus, error) {
 	if id == "" {
 		return JobStatus{}, fmt.Errorf("serve: Admit requires a job id: %w", resilience.ErrInvalidDesign)
+	}
+	if !s.jl.healthy() {
+		// Typed twice over: not-ready tells the dispatcher to reroute, the
+		// storage class tells it why (treat this replica as dead for new
+		// work, not merely backpressured).
+		return JobStatus{}, fmt.Errorf("serve: journal storage degraded: %w (%w)", ErrNotReady, resilience.ErrStorage)
 	}
 	if !s.Ready() {
 		return JobStatus{}, fmt.Errorf("serve: not ready (draining or crashed): %w", ErrNotReady)
@@ -227,18 +239,20 @@ type JournalJob struct {
 	Status   JobStatus
 }
 
-// ReadJournalJobs reduces a spool's journal into per-job states in
-// submission order, without opening the journal for writing. The fleet
-// coordinator runs it against a fenced replica's spool to decide what to
-// steal, and against every spool at startup to rebuild its assignment
-// table.
+// ReadJournalJobs reduces a spool's durable state — snapshot plus
+// journal tail — into per-job states in submission order, without
+// mutating the spool. The fleet coordinator runs it against a fenced
+// replica's spool to decide what to steal (steals work against a
+// compacted victim: the snapshot is the fold base the steal records
+// apply over), and against every spool at startup to rebuild its
+// assignment table.
 func ReadJournalJobs(spoolDir string) ([]JournalJob, error) {
-	recs, err := readJournal(filepath.Join(spoolDir, journalName))
+	st, err := loadSpool(atomicio.OS, spoolDir, false)
 	if err != nil {
 		return nil, err
 	}
 	var out []JournalJob
-	for _, e := range reduceJournal(recs) {
+	for _, e := range st.entries {
 		terminal := e.state == StateDone || e.state == StateFailed || e.state == StateCanceled
 		jj := JournalJob{
 			ID: e.id, Spec: e.spec, State: e.state, Terminal: terminal,
@@ -264,9 +278,17 @@ func MarkStolen(ctx context.Context, spoolDir, thief string, ids []string) error
 	if len(ids) == 0 {
 		return nil
 	}
+	// Scrub first: the victim may have died mid-compaction, and appending
+	// to a stale journal would lose the steal records at its next replay.
+	// Fencing makes the repair safe, and it recovers the sequence
+	// high-water mark the steal records continue from.
+	st, err := loadSpool(atomicio.OS, spoolDir, true)
+	if err != nil {
+		return err
+	}
 	// Steal records go through the degenerate per-line discipline: a
 	// handful of records from one writer gain nothing from batching.
-	jl, err := openJournal(filepath.Join(spoolDir, journalName), nil, 1, journalTuning{batch: 1})
+	jl, err := openJournal(atomicio.OS, filepath.Join(spoolDir, journalName), nil, 1, journalTuning{batch: 1}, st.seq)
 	if err != nil {
 		return err
 	}
@@ -285,4 +307,85 @@ func MarkStolen(ctx context.Context, spoolDir, thief string, ids []string) error
 // spools through it.
 func SpoolArtifact(spoolDir, id, suffix string) string {
 	return filepath.Join(spoolDir, id+"."+suffix)
+}
+
+// SpoolReport is the result of inspecting or repairing a spool — the
+// cmd/skewjournal surface.
+type SpoolReport struct {
+	Gen         int  `json:"gen"`          // current snapshot/journal generation
+	Seq         int  `json:"seq"`          // sequence high-water mark
+	Jobs        int  `json:"jobs"`         // jobs in the folded ledger
+	Pending     int  `json:"pending"`      // non-terminal, non-stolen jobs
+	Records     int  `json:"records"`      // journal tail records (excluding genesis)
+	Framed      int  `json:"framed"`       // checksummed journal lines
+	Legacy      int  `json:"legacy"`       // pre-frame journal lines
+	Quarantined int  `json:"quarantined"`  // corrupt non-tail lines found (verify) or moved (repair)
+	TornHealed  bool `json:"torn_healed"`  // a torn/corrupt tail was found (verify) or dropped (repair)
+	StaleHealed bool `json:"stale_healed"` // an interrupted compaction swap was found or completed
+}
+
+func spoolReport(st *spoolState) SpoolReport {
+	r := SpoolReport{
+		Gen: st.gen, Seq: st.seq, Jobs: len(st.entries),
+		Records: st.scrub.records, Framed: st.scrub.framed, Legacy: st.scrub.legacy,
+		Quarantined: st.scrub.quarantined, TornHealed: st.scrub.tornHealed,
+		StaleHealed: st.scrub.staleHealed,
+	}
+	for _, e := range st.entries {
+		if !e.stolen && e.state != StateDone && e.state != StateFailed && e.state != StateCanceled {
+			r.Pending++
+		}
+	}
+	return r
+}
+
+// InspectSpool reads a spool's durable state without mutating it,
+// returning the report alongside the folded per-job states.
+func InspectSpool(spoolDir string) (SpoolReport, []JournalJob, error) {
+	st, err := loadSpool(atomicio.OS, spoolDir, false)
+	if err != nil {
+		return SpoolReport{}, nil, err
+	}
+	jobs, err := ReadJournalJobs(spoolDir)
+	if err != nil {
+		return SpoolReport{}, nil, err
+	}
+	return spoolReport(st), jobs, nil
+}
+
+// VerifySpool checks every snapshot and journal frame without mutating
+// anything. The report counts what a repair would fix; err is non-nil
+// only when the spool cannot be loaded at all (e.g. a corrupt snapshot,
+// typed resilience.ErrStorage).
+func VerifySpool(spoolDir string) (SpoolReport, error) {
+	st, err := loadSpool(atomicio.OS, spoolDir, false)
+	if err != nil {
+		return SpoolReport{}, err
+	}
+	return spoolReport(st), nil
+}
+
+// RepairSpool scrubs a quiescent spool in place: corrupt non-tail lines
+// move to the quarantine file, a torn tail is truncated, an interrupted
+// compaction swap is completed. The owning daemon must be stopped.
+func RepairSpool(spoolDir string) (SpoolReport, error) {
+	st, err := loadSpool(atomicio.OS, spoolDir, true)
+	if err != nil {
+		return SpoolReport{}, err
+	}
+	return spoolReport(st), nil
+}
+
+// CompactSpool folds a quiescent spool's journal into its snapshot and
+// truncates the journal to a genesis record. The owning daemon must be
+// stopped.
+func CompactSpool(spoolDir string) (SpoolReport, error) {
+	if err := compactSpool(atomicio.OS, spoolDir, nil); err != nil {
+		return SpoolReport{}, err
+	}
+	st, err := loadSpool(atomicio.OS, spoolDir, false)
+	if err != nil {
+		return SpoolReport{}, err
+	}
+	return spoolReport(st), nil
 }

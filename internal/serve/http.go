@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+
+	"skewvar/internal/resilience"
 )
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -17,11 +19,11 @@ type errorBody struct {
 
 // handler wires the service API (Go 1.22 method+path patterns):
 //
-//	POST /jobs              submit  → 202 {id} | 400 | 429+Retry-After | 500 | 503
+//	POST /jobs              submit  → 202 {id} | 400 | 429+Retry-After | 500 | 503 | 507 storage
 //	GET  /jobs/{id}         status  → 200 JobStatus | 404
 //	GET  /jobs/{id}/result  result  → 200 design | 409 not finished | 404 | 500 | 504
 //	GET  /healthz           process liveness (always 200 while serving)
-//	GET  /readyz            admission readiness (503 once draining)
+//	GET  /readyz            admission readiness (503 once draining or storage-degraded)
 //	GET  /metrics           server counters/gauges (obs.Snapshot JSON)
 func (s *Server) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -100,6 +102,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "backpressure", "%v", err)
+	case errors.Is(err, resilience.ErrStorage):
+		// The disk, not the request, is the problem: a journal append that
+		// exhausted its retries (ENOSPC, EIO) or a poisoned journal. 507
+		// tells the client — and the fleet dispatcher — to go elsewhere;
+		// the job was never acknowledged and never runs here.
+		writeError(w, http.StatusInsufficientStorage, "storage", "%v", err)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "checkpoint", "%v", err)
 	default:
@@ -153,6 +161,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.jl.healthy() {
+		writeError(w, http.StatusServiceUnavailable, "storage", "journal cannot acknowledge writes")
+		return
+	}
 	if !s.Ready() {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return

@@ -1,14 +1,13 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,37 +19,39 @@ import (
 	"skewvar/internal/resilience"
 )
 
-// journalName is the journal's file name inside the spool directory.
-const journalName = "jobs.journal"
-
 // Journal record kinds. A job's lifecycle in the journal is
 // submit → (start → finish | start → suspend)* — the last record wins,
 // and a job whose last record is submit, start, or suspend is not
 // terminal and is re-enqueued on replay. A steal record — appended by a
 // fleet peer after this replica was fenced — is sticky: a stolen job is
-// owned elsewhere and is never re-admitted here, whatever follows.
+// owned elsewhere and is never re-admitted here, whatever follows. A
+// genesis record is the first line of a compacted journal: it names the
+// generation and sequence high-water mark of the snapshot the journal
+// continues from, and carries no job.
 const (
 	recSubmit  = "submit"
 	recStart   = "start"
 	recFinish  = "finish"
 	recSuspend = "suspend"
 	recSteal   = "steal"
+	recGenesis = "genesis"
 )
 
 // record is one journal line. Spec carries the original request body on
 // submit records so a replayed daemon can rebuild the job without any
 // other state surviving the crash; Thief names the stealing replica on
-// steal records.
+// steal records; Gen is set only on genesis records.
 type record struct {
 	Seq      int             `json:"seq"`
 	Kind     string          `json:"kind"`
-	Job      string          `json:"job"`
+	Job      string          `json:"job,omitempty"`
 	State    string          `json:"state,omitempty"`
 	Class    string          `json:"class,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Degraded bool            `json:"degraded,omitempty"`
 	Faults   map[string]int  `json:"faults,omitempty"`
 	Thief    string          `json:"thief,omitempty"`
+	Gen      int             `json:"gen,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 }
 
@@ -59,18 +60,34 @@ type record struct {
 // batch, and append returns only once the record's batch is durable, so
 // the submit-before-202 guarantee is byte-for-byte the one the per-line
 // appender gave (batch=1, window=0 — the default — IS the per-line
-// discipline). Writes retry with seeded-jitter exponential backoff; the
-// job-journal-write fault hook fails individual attempts and the
-// journal-group-flush hook crashes whole batches at their boundaries, so
-// both the retry and the torn-batch recovery paths replay by seed.
+// discipline). Every appended line is checksum-framed (atomicio
+// EncodeFrame), so replay can tell acknowledged bytes from rot. Writes
+// retry with seeded-jitter exponential backoff; the job-journal-write
+// fault hook fails individual attempts and the journal-group-flush hook
+// crashes whole batches at their boundaries, so both the retry and the
+// torn-batch recovery paths replay by seed.
+//
+// Compaction swaps the file under the appender. The pause gate
+// serializes that with appends: pause() blocks new appends and waits
+// out in-flight ones, the compactor closes the appender, swaps the
+// files, reopens, and unpause() releases the waiters. An appender that
+// cannot be reopened (or an append that exhausted its retries) marks
+// the journal poisoned: Ready() fails, admission returns a typed
+// resilience.ErrStorage, and the fleet routes new work elsewhere.
 type journal struct {
-	mu   sync.Mutex // guards seq; appends themselves run concurrently
-	app  *atomicio.GroupAppender
-	path string
-	seq  int
-	seed int64
-	inj  *faults.Injector
-	dead atomic.Bool // set by Server.Crash: appends stop landing, as after kill -9
+	mu       sync.Mutex // guards seq, app, paused, inflight
+	cond     *sync.Cond // signaled on unpause and on inflight reaching zero
+	app      *atomicio.GroupAppender
+	fsys     atomicio.FS
+	opts     atomicio.GroupOptions
+	path     string
+	seq      int
+	seed     int64
+	inj      *faults.Injector
+	paused   bool
+	inflight int
+	dead     atomic.Bool // set by Server.Crash: appends stop landing, as after kill -9
+	poisoned atomic.Bool // storage gave out: degrade loudly, accept nothing new
 }
 
 // journalTuning carries the group-commit knobs and metric sinks from the
@@ -81,22 +98,15 @@ type journalTuning struct {
 	obs    *obs.Recorder
 }
 
-// openJournal opens the journal for group-commit appending. The appender
-// heals a torn final line from a previous crash; seq continues past the
-// largest sequence number the replayer could decode (records may land
-// out of sequence order when a failed batch is retried behind newer
-// records, so the maximum — not the last line — is the high-water mark).
-func openJournal(path string, inj *faults.Injector, seed int64, tun journalTuning) (*journal, error) {
-	recs, err := readJournal(path)
-	if err != nil {
-		return nil, err
-	}
-	jl := &journal{path: path, seed: seed, inj: inj}
-	for _, r := range recs {
-		if r.Seq > jl.seq {
-			jl.seq = r.Seq
-		}
-	}
+// openJournal opens the journal for group-commit appending through fsys.
+// The appender heals a torn final line from a previous crash; seq is the
+// caller-recovered sequence high-water mark (loadSpool's fold over
+// snapshot and journal — records may land out of sequence order when a
+// failed batch is retried behind newer records, so the maximum, not the
+// last line, is the high-water mark).
+func openJournal(fsys atomicio.FS, path string, inj *faults.Injector, seed int64, tun journalTuning, seq int) (*journal, error) {
+	jl := &journal{fsys: fsys, path: path, seq: seq, seed: seed, inj: inj}
+	jl.cond = sync.NewCond(&jl.mu)
 	// The crash hook consults the injector once per flush boundary; the
 	// torn-prefix length of a mid-write crash draws from a seeded stream
 	// so a (seed, spec) pair replays the same tear.
@@ -111,7 +121,7 @@ func openJournal(path string, inj *faults.Injector, seed int64, tun journalTunin
 		kmu.Unlock()
 		return true, keep
 	}
-	app, err := atomicio.OpenGroupAppender(path, atomicio.GroupOptions{
+	jl.opts = atomicio.GroupOptions{
 		MaxBatch: tun.batch,
 		Window:   tun.window,
 		Hook:     hook,
@@ -120,7 +130,8 @@ func openJournal(path string, inj *faults.Injector, seed int64, tun journalTunin
 			tun.obs.Counter("serve.journal.flushed_lines").Add(int64(lines))
 			tun.obs.Histogram("serve.journal.batch_lines").Observe(int64(lines))
 		},
-	})
+	}
+	app, err := atomicio.OpenGroupAppenderFS(fsys, path, jl.opts)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
@@ -131,23 +142,47 @@ func openJournal(path string, inj *faults.Injector, seed int64, tun journalTunin
 // append durably writes one record, assigning it the next sequence
 // number. The caller blocks until the record's batch is fsynced.
 // Transient write failures are retried with jittered backoff; a record
-// that still cannot land is reported as a typed checkpoint error and the
-// journal stays positioned at its last durable line.
+// that still cannot land poisons the journal and is reported as a typed
+// storage error (which also satisfies errors.Is ErrCheckpoint, the
+// pre-snapshot classification), and the journal stays positioned at its
+// last durable line.
 func (jl *journal) append(ctx context.Context, rec record) error {
 	jl.mu.Lock()
+	for jl.paused && !jl.dead.Load() {
+		jl.cond.Wait()
+	}
 	if jl.dead.Load() {
 		jl.mu.Unlock()
 		// The owning replica was crash-simulated: like a killed process,
 		// nothing it tries to record after the crash instant may land.
 		return fmt.Errorf("serve: journal %s: replica crashed: %w", jl.path, resilience.ErrCheckpoint)
 	}
+	app := jl.app
+	if app == nil {
+		jl.mu.Unlock()
+		return fmt.Errorf("serve: journal %s: poisoned by storage failure: %w (%w)",
+			jl.path, resilience.ErrStorage, resilience.ErrCheckpoint)
+	}
 	jl.seq++
 	rec.Seq = jl.seq
+	jl.inflight++
 	jl.mu.Unlock()
+	defer func() {
+		jl.mu.Lock()
+		jl.inflight--
+		if jl.inflight == 0 {
+			jl.cond.Broadcast()
+		}
+		jl.mu.Unlock()
+	}()
 
-	line, err := json.Marshal(&rec)
+	payload, err := json.Marshal(&rec)
 	if err != nil {
 		return fmt.Errorf("serve: encoding journal record: %v: %w", err, resilience.ErrCheckpoint)
+	}
+	line, err := atomicio.EncodeFrame(payload)
+	if err != nil {
+		return fmt.Errorf("serve: framing journal record: %v: %w", err, resilience.ErrCheckpoint)
 	}
 	op := func() error {
 		if jl.dead.Load() {
@@ -156,7 +191,7 @@ func (jl *journal) append(ctx context.Context, rec record) error {
 		if jl.inj.Fire(faults.JobJournalWrite) {
 			return errors.New("serve: injected journal write failure")
 		}
-		return jl.app.AppendLine(line)
+		return app.AppendLine(line)
 	}
 	cfg := resilience.RetryConfig{
 		Attempts:  4,
@@ -167,27 +202,113 @@ func (jl *journal) append(ctx context.Context, rec record) error {
 		Rand: rand.New(rand.NewSource(jl.seed + int64(rec.Seq))),
 	}
 	if err := resilience.Retry(ctx, cfg, op); err != nil {
-		return fmt.Errorf("serve: journal %s: %v: %w", jl.path, err, resilience.ErrCheckpoint)
+		// Exhausted retries mean the disk, not the caller, is the problem:
+		// poison the journal so readiness and admission degrade typed. The
+		// error satisfies both the storage and the legacy checkpoint class.
+		jl.poisoned.Store(true)
+		return fmt.Errorf("serve: journal %s: %v: %w (%w)", jl.path, err, resilience.ErrStorage, resilience.ErrCheckpoint)
 	}
+	jl.poisoned.Store(false)
 	return nil
 }
 
+// pause blocks new appends and waits for in-flight ones to drain; the
+// journal file is then quiescent and the compactor may swap it. Callers
+// serialize pauses (the server's compacting flag).
+func (jl *journal) pause() {
+	jl.mu.Lock()
+	jl.paused = true
+	for jl.inflight > 0 {
+		jl.cond.Wait()
+	}
+	jl.mu.Unlock()
+}
+
+// unpause releases appends blocked by pause.
+func (jl *journal) unpause() {
+	jl.mu.Lock()
+	jl.paused = false
+	jl.cond.Broadcast()
+	jl.mu.Unlock()
+}
+
+// closeAppender flushes and closes the current appender (nil-safe, for
+// the compaction swap; the journal must be paused).
+func (jl *journal) closeAppender() error {
+	jl.mu.Lock()
+	app := jl.app
+	jl.app = nil
+	jl.mu.Unlock()
+	if app == nil {
+		return nil
+	}
+	return app.Close()
+}
+
+// reopenAppender opens a fresh appender on the (possibly swapped)
+// journal file. Failure leaves the journal poisoned: appends return
+// typed storage errors until a later reopen succeeds.
+func (jl *journal) reopenAppender() error {
+	app, err := atomicio.OpenGroupAppenderFS(jl.fsys, jl.path, jl.opts)
+	if err != nil {
+		jl.poisoned.Store(true)
+		return fmt.Errorf("serve: reopening journal %s: %v: %w", jl.path, err, resilience.ErrStorage)
+	}
+	jl.mu.Lock()
+	jl.app = app
+	jl.mu.Unlock()
+	jl.poisoned.Store(false)
+	return nil
+}
+
+// lines reports how many lines the current appender has written since it
+// was opened — the compaction trigger. Zero while poisoned.
+func (jl *journal) lines() int64 {
+	jl.mu.Lock()
+	app := jl.app
+	jl.mu.Unlock()
+	if app == nil {
+		return 0
+	}
+	return app.Lines()
+}
+
+// healthy reports whether the journal can durably acknowledge new
+// records: not crashed, not poisoned by a storage failure.
+func (jl *journal) healthy() bool {
+	return !jl.dead.Load() && !jl.poisoned.Load()
+}
+
 // kill marks the journal crashed and drops its unflushed batches, as
-// kill -9 would.
+// kill -9 would. Paused waiters are woken so they observe the crash.
 func (jl *journal) kill() {
 	jl.dead.Store(true)
-	jl.app.Kill()
+	jl.mu.Lock()
+	app := jl.app
+	jl.cond.Broadcast()
+	jl.mu.Unlock()
+	if app != nil {
+		app.Kill()
+	}
 }
 
 // Close flushes pending batches and closes the journal file.
 func (jl *journal) Close() error {
-	return jl.app.Close()
+	jl.mu.Lock()
+	app := jl.app
+	jl.app = nil
+	jl.mu.Unlock()
+	if app == nil {
+		return nil
+	}
+	return app.Close()
 }
 
-// readJournal decodes the journal's records in order, stopping at the
-// first torn or undecodable line (everything after a tear is untrusted;
-// OpenAppender truncates the tear before new appends). A missing journal
-// is an empty one.
+// readJournal decodes the journal's records in order — framed lines are
+// checksum-verified, legacy lines are format-sniffed and parsed as bare
+// JSON — skipping genesis markers and any line that fails verification
+// (scrub handles quarantine; this is the read-only view). A missing
+// journal is an empty one.
 func readJournal(path string) ([]record, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -198,17 +319,24 @@ func readJournal(path string) ([]record, error) {
 	}
 	defer f.Close()
 	var recs []record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-	for sc.Scan() {
-		var rec record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+	sc := atomicio.NewFrameScanner(f)
+	for {
+		fr, err := sc.Next()
+		if err == io.EOF {
 			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading journal %s: %w", path, err)
+		}
+		if fr.Err != nil || fr.Torn {
+			continue
+		}
+		var rec record
+		if jerr := json.Unmarshal(fr.Payload, &rec); jerr != nil || rec.Kind == "" || rec.Kind == recGenesis {
+			continue
 		}
 		recs = append(recs, rec)
 	}
-	// A scanner error (e.g. oversized line) also just ends the replayable
-	// prefix; the appender will truncate the remainder.
 	return recs, nil
 }
 
@@ -227,68 +355,16 @@ type ledgerEntry struct {
 	thief    string
 }
 
-// reduceJournal folds a journal's records into per-job ledger entries in
-// first-submission order. The fold is idempotent under the corruptions a
-// crash-then-copy pipeline can produce: a duplicated submit (or a whole
-// duplicated tail) never creates a second entry for the same job id, and
-// records for never-submitted ids are dropped. Steal records are sticky —
-// once stolen, later duplicated lifecycle records cannot resurrect the
-// job locally.
-func reduceJournal(recs []record) []*ledgerEntry {
-	byID := map[string]*ledgerEntry{}
-	var order []*ledgerEntry
-	for _, rec := range recs {
-		e := byID[rec.Job]
-		switch rec.Kind {
-		case recSubmit:
-			if e != nil {
-				continue // duplicated submit: first spec wins
-			}
-			e = &ledgerEntry{id: rec.Job, spec: append([]byte(nil), rec.Spec...), state: StateQueued}
-			byID[rec.Job] = e
-			order = append(order, e)
-		case recStart:
-			if e != nil {
-				e.attempts++
-			}
-		case recFinish:
-			if e != nil && !e.stolen {
-				e.state = rec.State
-				e.class = rec.Class
-				e.errMsg = rec.Error
-				e.degraded = rec.Degraded
-				e.faults = rec.Faults
-			}
-		case recSuspend:
-			if e != nil && !e.stolen {
-				e.state = StateQueued
-				e.degraded = rec.Degraded
-				e.faults = rec.Faults
-			}
-		case recSteal:
-			if e != nil {
-				e.stolen = true
-				e.thief = rec.Thief
-			}
-		}
-	}
-	return order
-}
-
-// replay rebuilds the in-memory job table from the journal and returns
-// the jobs needing (re-)execution, in original submission order. Jobs a
-// fleet peer stole are dropped entirely — they are owned elsewhere. For
-// each pending job a usable flow checkpoint is loaded when present; a
-// corrupt one falls back to a fresh run, counted and logged but not
-// fatal — the flows are deterministic, so a fresh run converges to the
-// same result.
-func (s *Server) replay() ([]*job, error) {
-	recs, err := readJournal(filepath.Join(s.cfg.SpoolDir, journalName))
-	if err != nil {
-		return nil, err
-	}
+// replay rebuilds the in-memory job table from the recovered spool
+// state and returns the jobs needing (re-)execution, in original
+// submission order. Jobs a fleet peer stole are dropped entirely — they
+// are owned elsewhere. For each pending job a usable flow checkpoint is
+// loaded when present; a corrupt one falls back to a fresh run, counted
+// and logged but not fatal — the flows are deterministic, so a fresh
+// run converges to the same result.
+func (s *Server) replay(entries []*ledgerEntry) []*job {
 	var pending []*job
-	for _, e := range reduceJournal(recs) {
+	for _, e := range entries {
 		s.submits++
 		if e.stolen {
 			s.logf("replay: job %s was stolen by %s; skipping", e.id, e.thief)
@@ -321,5 +397,5 @@ func (s *Server) replay() ([]*job, error) {
 		}
 		pending = append(pending, j)
 	}
-	return pending, nil
+	return pending
 }

@@ -44,6 +44,7 @@ import (
 	"skewvar/internal/core"
 	"skewvar/internal/ctree"
 	"skewvar/internal/edaio"
+	"skewvar/internal/edaio/atomicio"
 	"skewvar/internal/faults"
 	"skewvar/internal/lut"
 	"skewvar/internal/obs"
@@ -125,6 +126,21 @@ type Config struct {
 	// the same wait schedule.
 	RetrySeed int64
 
+	// FS is the filesystem the journal, snapshot, and scrub paths go
+	// through (nil = the real OS). Tests inject atomicio.WithFaults here;
+	// when Faults is armed with storage hooks (disk-full, fsync-error,
+	// read-corrupt, rename-torn) and FS is nil, the server wraps the OS
+	// filesystem itself so -faults specs reach the storage seam.
+	FS atomicio.FS
+
+	// CompactEvery triggers journal compaction (snapshot + truncated
+	// journal swap) once the running appender has written that many lines
+	// (default 256; negative disables compaction). Startup compacts first
+	// when the replayed journal already holds at least CompactEvery
+	// records, and a clean drain compacts on the same threshold, so
+	// replay work is bounded across restarts.
+	CompactEvery int
+
 	Logf func(format string, args ...interface{}) // nil = silent
 }
 
@@ -161,6 +177,15 @@ func (c *Config) setDefaults() error {
 	}
 	if c.RetrySeed == 0 {
 		c.RetrySeed = 1
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 256
+	}
+	if c.FS == nil {
+		c.FS = atomicio.OS
+		if c.Faults != nil {
+			c.FS = atomicio.WithFaults(atomicio.OS, c.Faults.Fire)
+		}
 	}
 	if c.Clock == nil {
 		c.Clock = wallClockNS{}
@@ -248,9 +273,10 @@ type Server struct {
 	pickCtx    context.Context
 	pickCancel context.CancelFunc
 
-	queue    chan *job
-	draining atomic.Bool
-	crashed  atomic.Bool // kill -9 simulation armed by Crash (fleet harness)
+	queue      chan *job
+	draining   atomic.Bool
+	crashed    atomic.Bool // kill -9 simulation armed by Crash (fleet harness)
+	compacting atomic.Bool // one compaction at a time; extra triggers skip
 
 	// views shares per-corner-signature technology sub-views and STA net
 	// caches across jobs (see netcache.go).
@@ -265,10 +291,15 @@ type Server struct {
 	submits int      // submit records ever journaled (job ID source)
 }
 
-// New opens (creating if needed) the spool directory, replays the job
-// journal, and prepares — but does not start — the service. Jobs that
-// were queued or running when the previous process died are re-admitted
-// and will resume from their checkpoints once Start is called.
+// New opens (creating if needed) the spool directory, scrubs and
+// replays the snapshot + job journal, and prepares — but does not start
+// — the service. Jobs that were queued or running when the previous
+// process died are re-admitted and will resume from their checkpoints
+// once Start is called. Recovery heals everything a crash can leave:
+// torn tails are truncated, corrupt mid-journal lines are quarantined, a
+// half-finished compaction swap is completed. A corrupt snapshot is not
+// locally repairable and fails construction with a typed
+// resilience.ErrStorage.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -285,12 +316,28 @@ func New(cfg Config) (*Server, error) {
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.pickCtx, s.pickCancel = context.WithCancel(s.hardCtx)
 
-	pending, err := s.replay()
+	st, err := loadSpool(cfg.FS, cfg.SpoolDir, true)
 	if err != nil {
 		return nil, err
 	}
-	jl, err := openJournal(filepath.Join(cfg.SpoolDir, journalName), cfg.Faults, cfg.RetrySeed,
-		journalTuning{batch: cfg.JournalBatch, window: cfg.JournalWindow, obs: cfg.Obs})
+	s.reportScrub(st.scrub)
+	// Bound replay across restarts: fold an oversized journal into the
+	// snapshot before opening it for appends. A failed compaction is
+	// survivable — re-heal (the swap may have half-landed) and serve from
+	// the uncompacted state.
+	if cfg.CompactEvery > 0 && st.scrub.records >= cfg.CompactEvery {
+		if cerr := compactSpool(cfg.FS, cfg.SpoolDir, nil); cerr != nil {
+			s.logf("startup: compaction failed (%v); healing and continuing", cerr)
+			if _, herr := loadSpool(cfg.FS, cfg.SpoolDir, true); herr != nil {
+				return nil, herr
+			}
+		} else {
+			s.counter("serve.journal.compactions").Add(1)
+		}
+	}
+	pending := s.replay(st.entries)
+	jl, err := openJournal(cfg.FS, filepath.Join(cfg.SpoolDir, journalName), cfg.Faults, cfg.RetrySeed,
+		journalTuning{batch: cfg.JournalBatch, window: cfg.JournalWindow, obs: cfg.Obs}, st.seq)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +359,22 @@ func New(cfg Config) (*Server, error) {
 		s.logf("replayed %d unfinished job(s) from %s", len(pending), cfg.SpoolDir)
 	}
 	return s, nil
+}
+
+// reportScrub logs and counts what spool recovery found and fixed.
+func (s *Server) reportScrub(sc scrubStats) {
+	if sc.quarantined > 0 {
+		s.logf("scrub: quarantined %d corrupt journal line(s) to %s", sc.quarantined, quarantineName)
+		s.counter("serve.journal.scrub.quarantined").Add(int64(sc.quarantined))
+	}
+	if sc.tornHealed {
+		s.logf("scrub: healed a torn journal tail")
+		s.counter("serve.journal.scrub.torn_healed").Add(1)
+	}
+	if sc.staleHealed {
+		s.logf("scrub: completed an interrupted compaction swap")
+		s.counter("serve.journal.scrub.stale_healed").Add(1)
+	}
 }
 
 // Start launches the worker pool and begins serving HTTP on ln.
@@ -360,9 +423,21 @@ func (s *Server) Drain() bool {
 		}
 	}
 	s.hardCancel()
+	lines := s.jl.lines()
 	if err := s.jl.Close(); err != nil {
 		s.logf("drain: closing journal: %v", err)
 		settled = false
+	}
+	// A clean shutdown with an oversized journal folds it into the
+	// snapshot so the next start replays a short tail. Skipped when
+	// anything is unsettled — compaction requires exclusive, quiescent
+	// ownership of the spool.
+	if settled && !s.crashed.Load() && s.cfg.CompactEvery > 0 && lines >= int64(s.cfg.CompactEvery) {
+		if err := compactSpool(s.cfg.FS, s.cfg.SpoolDir, nil); err != nil {
+			s.logf("drain: compaction failed: %v", err)
+		} else {
+			s.counter("serve.journal.compactions").Add(1)
+		}
 	}
 	s.logf("drain: complete (settled=%v)", settled)
 	return settled
@@ -586,6 +661,10 @@ func errClass(err error) string {
 		return "invalid-design"
 	case errors.Is(err, resilience.ErrSolver):
 		return "solver"
+	// Storage before checkpoint: an exhausted journal append wraps both
+	// (the storage class is the more specific diagnosis).
+	case errors.Is(err, resilience.ErrStorage):
+		return "storage"
 	case errors.Is(err, resilience.ErrCheckpoint):
 		return "checkpoint"
 	case errors.Is(err, resilience.ErrTimer):

@@ -349,8 +349,9 @@ func TestPanicIsolation(t *testing.T) {
 }
 
 // TestJournalWriteFailureRejectsSubmit: when every journal append attempt
-// fails, admission must reject with a typed 500 — a job the journal
-// cannot make durable is never accepted.
+// fails, admission must reject with a typed 507 storage error — a job the
+// journal cannot make durable is never accepted — and the exhausted
+// journal must fail readiness until an append succeeds again.
 func TestJournalWriteFailureRejectsSubmit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("flow execution in -short mode")
@@ -359,8 +360,21 @@ func TestJournalWriteFailureRejectsSubmit(t *testing.T) {
 	s, url := testServer(t, t.TempDir(), func(c *Config) { c.Faults = inj })
 
 	code, m, _ := post(t, url, jobBody(t, nil))
-	if code != http.StatusInternalServerError {
-		t.Fatalf("submit with dead journal: HTTP %d (want 500), body %v", code, m)
+	if code != http.StatusInsufficientStorage {
+		t.Fatalf("submit with dead journal: HTTP %d (want 507), body %v", code, m)
+	}
+	if m["class"] != "storage" {
+		t.Errorf("rejection class %q, want storage", m["class"])
+	}
+	// The exhausted journal is poisoned: readiness degrades so a fleet
+	// routes new work away from this replica.
+	rresp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz on poisoned journal: HTTP %d (want 503)", rresp.StatusCode)
 	}
 	// The rejected job must not exist.
 	resp, err := http.Get(url + "/jobs/j000001")

@@ -234,6 +234,9 @@ func (s *Server) finishJob(j *job, design *ctree.Design, res *core.FlowResult, e
 	s.mu.Unlock()
 	s.counter("serve.jobs." + state).Add(1)
 	s.logf("job %s: %s%s", j.id, state, classSuffix(class))
+	// A settled job is the natural compaction point: no server lock is
+	// held, and the journal just grew by this job's lifecycle records.
+	s.maybeCompact()
 }
 
 func classSuffix(class string) string {
